@@ -1,0 +1,45 @@
+"""Shared helpers for the table/figure benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures at full
+scale (10 MB copies / multi-point LADDIS sweeps), prints the measured rows
+next to the published ones, and asserts the paper's *shape*: who wins, by
+roughly what factor, and where the crossovers fall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import PAPER, TABLES
+from repro.metrics import format_comparison
+
+
+def print_table_comparison(result) -> None:
+    """Emit the measured table in the paper's layout plus per-row ratios."""
+    spec = result.spec
+    print()
+    print(result.render())
+    print()
+    paper = PAPER[spec.number]
+    for variant, title in (("std", "Without"), ("gather", "With")):
+        for row, unit in (
+            ("speed", "KB/s"),
+            ("cpu", "%"),
+            ("disk_kbs", "KB/s"),
+            ("disk_tps", "t/s"),
+        ):
+            print(
+                format_comparison(
+                    f"{title} gathering — {row} (measured vs paper)",
+                    spec.biods,
+                    result.series(variant, row),
+                    paper[variant][row],
+                    unit=unit,
+                )
+            )
+    print()
+
+
+@pytest.fixture
+def table_reporter():
+    return print_table_comparison

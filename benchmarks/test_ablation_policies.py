@@ -1,0 +1,105 @@
+"""Ablations for the remaining design choices DESIGN.md calls out:
+
+* the mbuf hunter (§6.5) — disabled, Presto-mode gathering loses its only
+  way of seeing follow-on writes;
+* FIFO vs LIFO reply order (§6.7) — LIFO was tried and abandoned;
+* the SIVA93 first-write-as-latency-device variant (§6.6) — works on plain
+  disks, cannot gather under NVRAM;
+* the learned-clients database (§8) — erases the dumb-PC penalty.
+"""
+
+from repro.core import GatherPolicy
+from repro.experiments import TestbedConfig, run_filecopy
+from repro.net import ETHERNET, FDDI
+
+MB = 1 << 20
+
+
+def run_policies():
+    results = {}
+
+    def cell(label, **kwargs):
+        file_mb = kwargs.pop("file_mb", 6)
+        results[label] = run_filecopy(TestbedConfig(**kwargs), file_mb=file_mb)
+
+    # §6.5 + §6.1: with a single nfsd, nobody can be "blocked on the same
+    # vnode" — the socket-buffer scan is the only visible evidence of
+    # follow-on writes, and it alone enables one-nfsd optimal gathering.
+    cell(
+        "1-nfsd gather + mbuf hunter",
+        netspec=FDDI,
+        write_path="gather",
+        nbiods=7,
+        presto_bytes=MB,
+        nfsds=1,
+    )
+    cell(
+        "1-nfsd gather - mbuf hunter",
+        netspec=FDDI,
+        write_path="gather",
+        nbiods=7,
+        presto_bytes=MB,
+        nfsds=1,
+        gather_policy=GatherPolicy(use_mbuf_hunter=False),
+    )
+    cell(
+        "early-wakeup procrastination",
+        netspec=FDDI,
+        write_path="gather",
+        nbiods=7,
+        gather_policy=GatherPolicy(early_wakeup=True),
+    )
+    cell("fifo replies", netspec=ETHERNET, write_path="gather", nbiods=4)
+    cell(
+        "lifo replies",
+        netspec=ETHERNET,
+        write_path="gather",
+        nbiods=4,
+        gather_policy=GatherPolicy(reply_order="lifo"),
+    )
+    cell("siva on disks", netspec=FDDI, write_path="siva", nbiods=7)
+    cell("gather on disks", netspec=FDDI, write_path="gather", nbiods=7)
+    cell("standard on disks", netspec=FDDI, write_path="standard", nbiods=7)
+    cell("siva on presto", netspec=FDDI, write_path="siva", nbiods=7, presto_bytes=MB)
+    cell("standard on presto", netspec=FDDI, write_path="standard", nbiods=7, presto_bytes=MB)
+    cell("dumb pc standard", netspec=ETHERNET, write_path="standard", nbiods=0, file_mb=2)
+    cell("dumb pc gather", netspec=ETHERNET, write_path="gather", nbiods=0, file_mb=2)
+    cell(
+        "dumb pc gather learned",
+        netspec=ETHERNET,
+        write_path="gather",
+        nbiods=0,
+        file_mb=2,
+        gather_policy=GatherPolicy(learned_clients=True),
+    )
+    return results
+
+
+def test_policy_ablations(benchmark):
+    results = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+    print("\nPolicy ablations (KB/s, mean batch):")
+    for label, metrics in results.items():
+        batch = f"{metrics.mean_batch_size:5.1f}" if metrics.mean_batch_size else "    -"
+        print(f"  {label:<30} {metrics.client_kb_per_sec:7.0f} KB/s  batch {batch}")
+
+    speed = {label: m.client_kb_per_sec for label, m in results.items()}
+    batch = {label: m.mean_batch_size for label, m in results.items()}
+
+    # §6.5/§6.1: with one nfsd the mbuf hunter is the only gathering
+    # evidence; removing it collapses batches toward one.
+    assert batch["1-nfsd gather + mbuf hunter"] > 1.5 * batch["1-nfsd gather - mbuf hunter"]
+    assert speed["1-nfsd gather + mbuf hunter"] > speed["1-nfsd gather - mbuf hunter"]
+    # §6.7: FIFO is at least as good as LIFO for the sequential writer.
+    assert speed["fifo replies"] >= 0.95 * speed["lifo replies"]
+    # §6.6: SIVA93 helps on plain disks but the procrastinating gatherer
+    # matches or beats it; under NVRAM SIVA degenerates to standard.
+    assert speed["siva on disks"] > 1.5 * speed["standard on disks"]
+    assert speed["gather on disks"] >= 0.9 * speed["siva on disks"]
+    assert abs(speed["siva on presto"] - speed["standard on presto"]) < 0.2 * speed[
+        "standard on presto"
+    ]
+    # Extension: early wakeup at least matches plain procrastination.
+    assert speed["early-wakeup procrastination"] >= 0.95 * speed["gather on disks"]
+    # §6.10/§8: learned clients rescue the dumb PC.
+    assert speed["dumb pc gather"] < speed["dumb pc standard"]
+    assert speed["dumb pc gather learned"] > 0.95 * speed["dumb pc standard"]

@@ -1,0 +1,37 @@
+"""Figure 1 — the side-by-side packet/disk timeline (4 biods, >100K in).
+
+Regenerates the paper's trace: the standard server does a data write plus a
+metadata write per 8K request; the gathering server digests a train of
+writes, issues a few large transactions, and releases a burst of replies.
+"""
+
+from repro.experiments import figure1
+
+
+def run_figure1():
+    return figure1(file_kb=256)
+
+
+def test_figure1(benchmark):
+    sides = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    for name in ("standard", "gathering"):
+        side = sides[name]
+        print(f"\n=== {name} server (window from {side['window_start_ms']:.1f} ms) ===")
+        print(side["rendered"])
+        print(
+            f"window summary: {side['writes']} writes, "
+            f"{side['disk_transactions']} disk transactions, {side['replies']} replies"
+        )
+
+    standard = sides["standard"]
+    gathering = sides["gathering"]
+    # Standard: >= 2 disk transactions per write (data + inode/indirect).
+    per_write_std = standard["disk_transactions"] / max(1, standard["writes"])
+    assert per_write_std >= 1.8
+    # Gathering: strictly fewer disk transactions per write, and the window
+    # processes more writes in the same 150 ms (the throughput win).
+    per_write_gat = gathering["disk_transactions"] / max(1, gathering["writes"])
+    assert per_write_gat < 0.6 * per_write_std
+    assert gathering["writes"] > standard["writes"]
+    # Replies batch up: at least as many replies as disk transactions.
+    assert gathering["replies"] >= gathering["disk_transactions"]

@@ -1,0 +1,39 @@
+"""Figure 2 — DEC 3800 SPEC SFS 1.0 (LADDIS) baseline curves.
+
+Paper shape: write gathering buys ~13% more server capacity and ~11% lower
+average response time on the mixed SFS workload (writes are only 15% of
+operations but dominate server cost).
+"""
+
+from repro.experiments import run_curve
+
+LOADS = (150.0, 300.0, 450.0, 550.0, 650.0, 750.0)
+
+
+def run_figure2():
+    standard = run_curve("standard", loads=LOADS, duration=4.0, warmup=1.0)
+    gathering = run_curve("gather", loads=LOADS, duration=4.0, warmup=1.0)
+    return standard, gathering
+
+
+def test_figure2(benchmark):
+    standard, gathering = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+    print("\nFigure 2: SPEC SFS 1.0 baseline (no Presto)")
+    print(f"{'offered':>8} {'std ops/s':>10} {'std ms':>8} {'gat ops/s':>10} {'gat ms':>8}")
+    for s_point, g_point in zip(standard.points, gathering.points):
+        print(
+            f"{s_point.offered:8.0f} {s_point.achieved:10.0f} {s_point.latency_ms:8.1f}"
+            f" {g_point.achieved:10.0f} {g_point.latency_ms:8.1f}"
+        )
+    print(
+        f"capacity (avg latency <= 50 ms): std {standard.capacity():.0f}, "
+        f"gather {gathering.capacity():.0f} "
+        f"({100 * (gathering.capacity() / standard.capacity() - 1):+.0f}%; paper +13%)"
+    )
+
+    # Capacity: gathering at least matches the standard server (paper +13%).
+    assert gathering.capacity() >= 0.97 * standard.capacity()
+    # Latency: lower with gathering at moderate load (paper -11%).
+    mid = len(LOADS) // 2
+    assert gathering.points[1].latency_ms < standard.points[1].latency_ms
+    assert gathering.points[mid].latency_ms < 1.05 * standard.points[mid].latency_ms

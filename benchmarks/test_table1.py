@@ -1,0 +1,31 @@
+"""Table 1 — NFS 10MB file copy: Ethernet, one RZ26, DEC 3400s, 8 nfsds.
+
+Paper shape: the standard server is spindle-bound at ~200 KB/s regardless
+of biods; gathering loses ~15% at 0 biods, then multiplies bandwidth
+(+145% at 7 biods, +228% at 15) while disk transactions collapse.
+"""
+
+from repro.experiments import run_table
+
+
+def test_table1(benchmark, table_reporter):
+    result = benchmark.pedantic(run_table, args=(1,), kwargs={"file_mb": 10}, rounds=1, iterations=1)
+    table_reporter(result)
+
+    std_speed = result.series("std", "speed")
+    gat_speed = result.series("gather", "speed")
+    # Standard server flat, ~200 KB/s band.
+    assert max(std_speed) / min(std_speed) < 1.35
+    assert 140 <= std_speed[-1] <= 280
+    # 0 biods: gathering is the worst case (~15% loss).
+    assert 0.70 <= gat_speed[0] / std_speed[0] <= 0.97
+    # 7 biods: paper +145%; accept anything past +80%.
+    assert gat_speed[2] > 1.8 * std_speed[2]
+    # 15 biods: paper +228%; accept past +120%.
+    assert gat_speed[-1] > 2.2 * std_speed[-1]
+    # Disk transactions collapse with gathering at >= 7 biods.
+    std_tps = result.series("std", "disk_tps")
+    gat_tps = result.series("gather", "disk_tps")
+    assert gat_tps[2] < 0.55 * std_tps[2]
+    # Gathering spends more CPU in exchange for the bandwidth.
+    assert result.series("gather", "cpu")[-1] > result.series("std", "cpu")[-1]

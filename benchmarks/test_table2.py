@@ -1,0 +1,30 @@
+"""Table 2 — NFS 10MB file copy: Ethernet with Prestoserve NVRAM.
+
+Paper shape: NVRAM transforms the standard server (~1100 KB/s, wire-bound);
+gathering now *costs* client throughput (991 vs 1112 at 15 biods) but cuts
+server CPU (34% vs 43%) — the §6.3 duality in action.
+"""
+
+from repro.experiments import run_table
+
+
+def test_table2(benchmark, table_reporter):
+    result = benchmark.pedantic(run_table, args=(2,), kwargs={"file_mb": 10}, rounds=1, iterations=1)
+    table_reporter(result)
+
+    std_speed = result.series("std", "speed")
+    gat_speed = result.series("gather", "speed")
+    std_cpu = result.series("std", "cpu")
+    gat_cpu = result.series("gather", "cpu")
+    # Presto lifts the standard server far beyond plain-disk ~200 KB/s.
+    assert std_speed[-1] > 800
+    # Gathering loses client throughput under Presto at every biod count.
+    for index in range(len(std_speed)):
+        assert gat_speed[index] < std_speed[index] * 1.02
+    # ...but serves each byte with less CPU.
+    cpu_per_kb_std = std_cpu[-1] / std_speed[-1]
+    cpu_per_kb_gat = gat_cpu[-1] / gat_speed[-1]
+    assert cpu_per_kb_gat < cpu_per_kb_std
+    # Presto-era disk transactions are large (its own clustering).
+    std_kb_per_tx = result.series("std", "disk_kbs")[-1] / result.series("std", "disk_tps")[-1]
+    assert std_kb_per_tx > 16

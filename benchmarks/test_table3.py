@@ -1,0 +1,25 @@
+"""Table 3 — NFS 10MB file copy: FDDI, one RZ26 (DEC 3500 -> DEC 3800).
+
+Paper shape: the standard server stays disk-bound (~208 KB/s flat, 6% CPU);
+gathering reaches ~1 MB/s at 15 biods — the single-client headline result.
+"""
+
+from repro.experiments import run_table
+
+
+def test_table3(benchmark, table_reporter):
+    result = benchmark.pedantic(run_table, args=(3,), kwargs={"file_mb": 10}, rounds=1, iterations=1)
+    table_reporter(result)
+
+    std_speed = result.series("std", "speed")
+    gat_speed = result.series("gather", "speed")
+    # Standard flat and disk-bound.
+    assert max(std_speed) / min(std_speed) < 1.25
+    assert 150 <= std_speed[0] <= 300
+    # Gathering: ~4x at 7 biods (paper 846 vs 207), near 1 MB/s at 15.
+    assert gat_speed[2] > 3.0 * std_speed[2]
+    assert gat_speed[-1] > 800
+    # 0-biod worst case still present.
+    assert gat_speed[0] < std_speed[0]
+    # Disk transaction collapse.
+    assert result.series("gather", "disk_tps")[-1] < 0.6 * result.series("std", "disk_tps")[-1]

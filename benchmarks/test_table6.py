@@ -1,0 +1,32 @@
+"""Table 6 — NFS 10MB file copy: FDDI, Prestoserve, 3 striped drives.
+
+Paper shape: the standard server reaches ~3.4 MB/s at ~70% CPU; gathering
+cuts CPU hard at low biod counts (6% vs 40% at 0 biods, 29% vs 66% at 3)
+at the cost of client throughput there.
+
+Known deviation (recorded in EXPERIMENTS.md): at >= 7 biods our gathering
+server matches or exceeds the standard server's throughput, where the
+paper measured a ~20% deficit; the CPU-efficiency direction still holds at
+the low-biod end.
+"""
+
+from repro.experiments import run_table
+
+
+def test_table6(benchmark, table_reporter):
+    result = benchmark.pedantic(run_table, args=(6,), kwargs={"file_mb": 10}, rounds=1, iterations=1)
+    table_reporter(result)
+
+    std_speed = result.series("std", "speed")
+    gat_speed = result.series("gather", "speed")
+    std_cpu = result.series("std", "cpu")
+    gat_cpu = result.series("gather", "cpu")
+    # Standard server: multi-MB/s, CPU-heavy (paper 66-71% past 3 biods).
+    assert std_speed[-1] > 2200
+    assert std_cpu[-1] > 45
+    # Gathering's 0/3-biod cells: lower throughput AND lower CPU.
+    assert gat_speed[0] < 0.65 * std_speed[0]
+    assert gat_cpu[0] < std_cpu[0]
+    assert gat_cpu[1] < std_cpu[1]
+    # CPU per byte favors gathering across the sweep.
+    assert gat_cpu[-1] / gat_speed[-1] < std_cpu[-1] / std_speed[-1]

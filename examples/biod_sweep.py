@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Sweep client biods on Ethernet and FDDI — regenerating the left half of
+Tables 1 and 3 as simple text charts.
+
+The interesting dynamics: the standard server is pinned at disk speed no
+matter how many biods the client runs, while the gathering server converts
+each extra biod into a longer request train and a bigger gathered batch.
+
+Run:  python examples/biod_sweep.py
+"""
+
+from repro.experiments import TestbedConfig, run_filecopy
+from repro.net import ETHERNET, FDDI
+
+BIODS = (0, 3, 7, 11, 15)
+
+
+def bar(value: float, scale: float = 12.0) -> str:
+    return "#" * max(1, int(value / scale))
+
+
+def sweep(netspec) -> None:
+    print(f"=== {netspec.name} ===")
+    print(f"{'biods':>5}  {'standard':>9}  {'gathering':>9}   (KB/s, 10MB copy)")
+    for nbiods in BIODS:
+        row = {}
+        for write_path in ("standard", "gather"):
+            config = TestbedConfig(netspec=netspec, write_path=write_path, nbiods=nbiods)
+            row[write_path] = run_filecopy(config, file_mb=10).client_kb_per_sec
+        print(
+            f"{nbiods:>5}  {row['standard']:>9.0f}  {row['gather']:>9.0f}   "
+            f"std {bar(row['standard'])} | gat {bar(row['gather'])}"
+        )
+    print()
+
+
+def main() -> None:
+    sweep(ETHERNET)
+    sweep(FDDI)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""The dumb-PC worst case (§6.10) and the learned-clients fix (§8).
+
+A single-threaded client with no biods gives the gathering server nothing
+to gather: every write eats a procrastination delay for no gain (~15% loss
+for a quick client).  The paper's future-work idea — a per-client database
+of learned behaviour, suggested by Jeff Mogul — erases the penalty: after a
+short learning window the server stops procrastinating for that client.
+
+Run:  python examples/dumb_pc.py
+"""
+
+from repro.core import GatherPolicy
+from repro.experiments import TestbedConfig, run_filecopy
+from repro.net import ETHERNET
+from repro.workload import DUMB_PC_THINK_TIME, FAST_CLIENT_THINK_TIME
+
+
+def measure(write_path: str, think_time: float, policy: GatherPolicy | None = None) -> float:
+    config = TestbedConfig(
+        netspec=ETHERNET,
+        write_path=write_path,
+        nbiods=0,
+        gather_policy=policy or GatherPolicy(),
+    )
+    return run_filecopy(config, file_mb=2, think_time=think_time).client_kb_per_sec
+
+
+def main() -> None:
+    print("Quick single-threaded client (the paper's ~15% loss case):")
+    std = measure("standard", FAST_CLIENT_THINK_TIME)
+    gat = measure("gather", FAST_CLIENT_THINK_TIME)
+    learned = measure(
+        "gather", FAST_CLIENT_THINK_TIME, GatherPolicy(learned_clients=True)
+    )
+    print(f"  standard server      : {std:7.0f} KB/s")
+    print(f"  gathering server     : {gat:7.0f} KB/s  ({gat / std - 1:+.0%})")
+    print(f"  gathering + learned  : {learned:7.0f} KB/s  ({learned / std - 1:+.0%})")
+    print()
+    print("Truly slow PC (20 ms per 8K): the loss fades into insignificance:")
+    std_slow = measure("standard", DUMB_PC_THINK_TIME)
+    gat_slow = measure("gather", DUMB_PC_THINK_TIME)
+    print(f"  standard server      : {std_slow:7.0f} KB/s")
+    print(f"  gathering server     : {gat_slow:7.0f} KB/s  ({gat_slow / std_slow - 1:+.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's headline experiment in a dozen lines.
+
+Writes a 10 MB file over a simulated FDDI network to an NFS server backed
+by one RZ26 disk, with 7 client biods — once against the reference-port
+(standard) write path and once with write gathering — and prints the four
+numbers the paper's tables report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments import TestbedConfig, run_filecopy
+from repro.net import FDDI
+
+
+def main() -> None:
+    for write_path in ("standard", "gather"):
+        config = TestbedConfig(netspec=FDDI, write_path=write_path, nbiods=7)
+        metrics = run_filecopy(config, file_mb=10)
+        print(f"--- {write_path} server ---")
+        for name, value in metrics.row().items():
+            print(f"  {name:<32} {value}")
+        if metrics.mean_batch_size is not None:
+            print(f"  {'mean gathered batch size':<32} {metrics.mean_batch_size:.1f}")
+            print(f"  {'gather success rate':<32} {metrics.gather_success_rate:.0%}")
+        print()
+    print(
+        "The paper's Table 3 at 7 biods: 207 KB/s without gathering, "
+        "846 KB/s with it."
+    )
+
+
+if __name__ == "__main__":
+    main()

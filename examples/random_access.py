@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Random-access writes gather too (§6.11).
+
+"The write gathering algorithm does not assume an ordering on the delivery
+of writes.  A grouping of random access writes will accrue the same
+benefits of metadata amortization as a grouping of sequential access
+writes.  The clustering of data blocks ... is an underlying filesystem
+issue."
+
+This example rewrites random 8K records of a preallocated 2 MB file and
+splits the disk traffic into data vs metadata transactions, showing that
+gathering amortizes the metadata identically for random and sequential
+patterns while the data clustering advantage exists only sequentially.
+
+Run:  python examples/random_access.py
+"""
+
+from repro.experiments import Testbed, TestbedConfig
+from repro.net import FDDI
+from repro.workload import write_file, write_random
+
+MB = 1 << 20
+
+
+def run(write_path: str, pattern: str):
+    config = TestbedConfig(netspec=FDDI, write_path=write_path, nbiods=7)
+    testbed = Testbed(config)
+    client = testbed.add_client()
+    env = testbed.env
+    if pattern == "sequential":
+        proc = env.process(write_file(env, client, "seq", 2 * MB))
+    else:
+        proc = env.process(write_random(env, client, "rnd", 2 * MB, writes=256, seed=11))
+    env.run(until=proc)
+    data = meta = 0.0
+    for disk in testbed.disks:
+        for kind, count in disk.stats.by_kind.items():
+            if kind == "data":
+                data += count
+            else:
+                meta += count
+    return proc.value, data, meta
+
+
+def main() -> None:
+    print(f"{'pattern':<12} {'server':<10} {'elapsed s':>10} {'data txs':>9} {'meta txs':>9}")
+    for pattern in ("sequential", "random"):
+        for write_path in ("standard", "gather"):
+            elapsed, data, meta = run(write_path, pattern)
+            print(
+                f"{pattern:<12} {write_path:<10} {elapsed:>10.2f} "
+                f"{data:>9.0f} {meta:>9.0f}"
+            )
+    print()
+    print("Gathering collapses the metadata column for BOTH patterns; only")
+    print("the sequential case also shrinks the data column (clustering is")
+    print("an underlying-filesystem issue, exactly as §6.11 says).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Render Figures 1-3 as SVG files under figures/.
+
+* figure1.svg — disk transactions per write, standard vs gathering, over a
+  biod sweep (the quantitative content of the paper's trace figure);
+* figure2.svg — LADDIS response time vs achieved throughput, no Presto;
+* figure3.svg — ditto with Prestoserve.
+
+Run:  python scripts/render_figures.py   (a few minutes)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments import TestbedConfig, figure1, run_curve, run_filecopy
+from repro.experiments.trace import render_timeline_svg
+from repro.metrics.svg import LineChart
+from repro.net import FDDI
+
+FIGURES = Path(__file__).resolve().parent.parent / "figures"
+
+FIG2_LOADS = (150.0, 300.0, 450.0, 550.0, 650.0, 750.0)
+FIG3_LOADS = (200.0, 400.0, 600.0, 700.0, 800.0)
+
+
+def figure1_chart() -> LineChart:
+    biods = (0, 3, 7, 11, 15)
+    chart = LineChart(
+        "Figure 1 (summarized): disk transactions per 8K write — FDDI, RZ26",
+        "client biods",
+        "disk transactions per write",
+    )
+    for write_path, label, dashed in (
+        ("standard", "standard server", False),
+        ("gather", "gathering server", True),
+    ):
+        points = []
+        for nbiods in biods:
+            metrics = run_filecopy(
+                TestbedConfig(netspec=FDDI, write_path=write_path, nbiods=nbiods),
+                file_mb=4,
+            )
+            writes_per_sec = metrics.client_kb_per_sec / 8.0
+            points.append((nbiods, metrics.disk_trans_per_sec / writes_per_sec))
+        chart.add_series(label, points, dashed=dashed)
+    return chart
+
+
+def laddis_chart(presto: bool, loads) -> LineChart:
+    number = 3 if presto else 2
+    suffix = ", Prestoserve" if presto else ""
+    chart = LineChart(
+        f"Figure {number}: DEC 3800 SPEC SFS 1.0 baseline{suffix}",
+        "NFS throughput (ops/sec)",
+        "average NFS response time (msec)",
+    )
+    for write_path, label, dashed in (
+        ("standard", "without write gathering", False),
+        ("gather", "with write gathering", True),
+    ):
+        curve = run_curve(write_path, presto=presto, loads=loads, duration=4.0)
+        points = [(p.achieved, p.latency_ms) for p in curve.points]
+        chart.add_series(label, points, dashed=dashed)
+    return chart
+
+
+def main() -> None:
+    FIGURES.mkdir(exist_ok=True)
+    print("rendering figure 1 (timelines)...", file=sys.stderr)
+    sides = figure1(file_kb=256)
+    svg = render_timeline_svg(
+        sides["standard"]["window"], sides["gathering"]["window"]
+    )
+    (FIGURES / "figure1_timeline.svg").write_text(svg)
+    print("rendering figure 1 (summary chart)...", file=sys.stderr)
+    figure1_chart().save(str(FIGURES / "figure1.svg"))
+    print("rendering figure 2...", file=sys.stderr)
+    laddis_chart(False, FIG2_LOADS).save(str(FIGURES / "figure2.svg"))
+    print("rendering figure 3...", file=sys.stderr)
+    laddis_chart(True, FIG3_LOADS).save(str(FIGURES / "figure3.svg"))
+    print(f"wrote {FIGURES}/figure{{1,2,3}}.svg", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim so editable installs work without network access.
+
+The offline environment has no ``wheel`` package, which PEP-517 editable
+builds require; ``pip install -e . --no-build-isolation`` falls back to this
+``setup.py develop`` path instead.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — reproduction of Juszczak, "Improving the Write Performance of an
+NFS Server" (USENIX Winter 1994).
+
+The package is a deterministic discrete-event simulation of a complete NFS
+client/server stack — network, RPC, filesystem, disk, NVRAM — with the
+paper's *write gathering* technique as the core contribution, plus the
+workloads and experiment drivers that regenerate every table and figure in
+the paper's evaluation.
+
+Quick start::
+
+    from repro.experiments import TestbedConfig, run_filecopy
+    from repro.net import FDDI
+
+    metrics = run_filecopy(
+        TestbedConfig(netspec=FDDI, write_path="gather", nbiods=7),
+        file_mb=10,
+    )
+    print(metrics.client_kb_per_sec)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.core import GatheringWritePath, GatherPolicy
+from repro.experiments import TestbedConfig, run_filecopy, run_table
+from repro.server import NfsServer, ServerConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GatheringWritePath",
+    "GatherPolicy",
+    "NfsServer",
+    "ServerConfig",
+    "TestbedConfig",
+    "run_filecopy",
+    "run_table",
+    "__version__",
+]

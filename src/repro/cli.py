@@ -1,0 +1,238 @@
+"""Command-line interface for running the paper's experiments.
+
+Installed as the ``repro`` console script (also usable as
+``python -m repro.cli``)::
+
+    repro table 3                 # regenerate Table 3 (paper layout + ratios)
+    repro table 1 --file-mb 2     # quick run at reduced scale
+    repro copy --net fddi --biods 7 --gather
+    repro copy --net ethernet --presto --stripes 3
+    repro trace                   # Figure 1 timelines
+    repro laddis --presto         # Figure 2/3 style curve
+    repro claims                  # one-screen summary of headline results
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.policy import GatherPolicy
+from repro.experiments import (
+    PAPER,
+    TABLES,
+    figure1,
+    run_curve,
+    run_filecopy,
+    run_table,
+)
+from repro.experiments.testbed import TestbedConfig
+from repro.metrics import format_comparison
+from repro.net import ETHERNET, FDDI
+
+__all__ = ["main", "build_parser"]
+
+_NETWORKS = {"ethernet": ETHERNET, "fddi": FDDI}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Improving the Write Performance of an NFS Server' (USENIX 1994).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table = subparsers.add_parser("table", help="regenerate one of Tables 1-6")
+    table.add_argument("number", type=int, choices=sorted(TABLES))
+    table.add_argument("--file-mb", type=float, default=10.0, help="copy size (paper: 10)")
+
+    copy = subparsers.add_parser("copy", help="run one file-copy cell")
+    copy.add_argument("--net", choices=sorted(_NETWORKS), default="fddi")
+    copy.add_argument("--biods", type=int, default=7)
+    copy.add_argument("--gather", action="store_true", help="enable write gathering")
+    copy.add_argument("--siva", action="store_true", help="use the SIVA93 variant")
+    copy.add_argument("--presto", action="store_true", help="NVRAM accelerator")
+    copy.add_argument("--stripes", type=int, default=1)
+    copy.add_argument("--nfsds", type=int, default=8)
+    copy.add_argument("--file-mb", type=float, default=10.0)
+    copy.add_argument("--interval-ms", type=float, default=None, help="procrastination override")
+
+    subparsers.add_parser("trace", help="print the Figure 1 timelines")
+
+    laddis = subparsers.add_parser("laddis", help="run a Figure 2/3 LADDIS curve")
+    laddis.add_argument("--presto", action="store_true")
+    laddis.add_argument(
+        "--loads",
+        type=float,
+        nargs="+",
+        default=[150.0, 300.0, 450.0, 550.0, 650.0],
+    )
+    laddis.add_argument("--duration", type=float, default=3.0)
+
+    subparsers.add_parser("claims", help="one-screen summary of the headline results")
+
+    sweep_cmd = subparsers.add_parser("sweep", help="sweep one parameter of a file-copy")
+    sweep_cmd.add_argument("field", help="TestbedConfig field, or interval_ms / presto_mb")
+    sweep_cmd.add_argument("values", nargs="+", help="values to sweep")
+    sweep_cmd.add_argument("--net", choices=sorted(_NETWORKS), default="fddi")
+    sweep_cmd.add_argument("--gather", action="store_true")
+    sweep_cmd.add_argument("--biods", type=int, default=7)
+    sweep_cmd.add_argument("--file-mb", type=float, default=4.0)
+    return parser
+
+
+def _cmd_table(args) -> int:
+    result = run_table(args.number, file_mb=args.file_mb)
+    print(result.render())
+    print()
+    paper = PAPER[args.number]
+    for variant, label in (("std", "Without gathering"), ("gather", "With gathering")):
+        print(
+            format_comparison(
+                f"{label} — client write speed (measured vs paper)",
+                result.spec.biods,
+                result.series(variant, "speed"),
+                paper[variant]["speed"],
+            )
+        )
+    return 0
+
+
+def _cmd_copy(args) -> int:
+    if args.gather and args.siva:
+        print("choose at most one of --gather / --siva", file=sys.stderr)
+        return 2
+    write_path = "gather" if args.gather else ("siva" if args.siva else "standard")
+    policy = GatherPolicy()
+    if args.interval_ms is not None:
+        policy = GatherPolicy(interval=args.interval_ms / 1000.0)
+    config = TestbedConfig(
+        netspec=_NETWORKS[args.net],
+        write_path=write_path,
+        nbiods=args.biods,
+        presto_bytes=(1 << 20) if args.presto else None,
+        stripes=args.stripes,
+        nfsds=args.nfsds,
+        gather_policy=policy,
+    )
+    metrics = run_filecopy(config, file_mb=args.file_mb)
+    print(f"configuration: {metrics.label}, {args.biods} biods, {args.file_mb} MB copy")
+    for name, value in metrics.row().items():
+        print(f"  {name:<32} {value}")
+    if metrics.mean_batch_size is not None:
+        print(f"  {'mean gathered batch size':<32} {metrics.mean_batch_size:.1f}")
+        print(f"  {'gather success rate':<32} {metrics.gather_success_rate:.0%}")
+        print(f"  {'procrastinations':<32} {metrics.procrastinations:.0f}")
+    return 0
+
+
+def _cmd_trace(_args) -> int:
+    sides = figure1(file_kb=256)
+    for name in ("standard", "gathering"):
+        side = sides[name]
+        print(f"=== {name} server — window from {side['window_start_ms']:.1f} ms ===")
+        print(side["rendered"])
+        print(
+            f"--> {side['writes']} writes, {side['disk_transactions']} disk "
+            f"transactions, {side['replies']} replies\n"
+        )
+    return 0
+
+
+def _cmd_laddis(args) -> int:
+    curves = {
+        "standard": run_curve("standard", presto=args.presto, loads=args.loads, duration=args.duration),
+        "gathering": run_curve("gather", presto=args.presto, loads=args.loads, duration=args.duration),
+    }
+    print(f"{'offered':>8} {'std ops/s':>10} {'std ms':>8} {'gat ops/s':>10} {'gat ms':>8}")
+    for s_point, g_point in zip(curves["standard"].points, curves["gathering"].points):
+        print(
+            f"{s_point.offered:8.0f} {s_point.achieved:10.0f} {s_point.latency_ms:8.1f}"
+            f" {g_point.achieved:10.0f} {g_point.latency_ms:8.1f}"
+        )
+    std_cap = curves["standard"].capacity()
+    gat_cap = curves["gathering"].capacity()
+    delta = 100 * (gat_cap / std_cap - 1) if std_cap else float("nan")
+    print(f"capacity: standard {std_cap:.0f}, gathering {gat_cap:.0f} ({delta:+.0f}%)")
+    return 0
+
+
+def _cmd_claims(_args) -> int:
+    print("Headline results (2 MB copies for speed; benches run full scale):")
+    rows = [
+        ("FDDI @7 biods, standard", TestbedConfig(netspec=FDDI, write_path="standard", nbiods=7)),
+        ("FDDI @7 biods, gathering", TestbedConfig(netspec=FDDI, write_path="gather", nbiods=7)),
+        ("Ethernet @0 biods, standard", TestbedConfig(netspec=ETHERNET, write_path="standard", nbiods=0)),
+        ("Ethernet @0 biods, gathering", TestbedConfig(netspec=ETHERNET, write_path="gather", nbiods=0)),
+        (
+            "Eth+Presto @7 biods, standard",
+            TestbedConfig(netspec=ETHERNET, write_path="standard", nbiods=7, presto_bytes=1 << 20),
+        ),
+        (
+            "Eth+Presto @7 biods, gathering",
+            TestbedConfig(netspec=ETHERNET, write_path="gather", nbiods=7, presto_bytes=1 << 20),
+        ),
+    ]
+    for label, config in rows:
+        metrics = run_filecopy(config, file_mb=2)
+        print(
+            f"  {label:<32} {metrics.client_kb_per_sec:7.0f} KB/s  "
+            f"cpu {metrics.server_cpu_pct:4.1f}%  disk {metrics.disk_trans_per_sec:5.1f} t/s"
+        )
+    return 0
+
+
+def _parse_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments import sweep, sweepable_fields
+
+    if args.field not in sweepable_fields():
+        print(
+            f"unknown field {args.field!r}; choose from "
+            f"{', '.join(sorted(sweepable_fields()))}",
+            file=sys.stderr,
+        )
+        return 2
+    base = TestbedConfig(
+        netspec=_NETWORKS[args.net],
+        write_path="gather" if args.gather else "standard",
+        nbiods=args.biods,
+    )
+    values = [_parse_value(v) for v in args.values]
+    results = sweep(base, args.field, values, file_mb=args.file_mb)
+    print(f"{args.field:>14} {'KB/s':>8} {'cpu %':>7} {'disk t/s':>9} {'batch':>7}")
+    for value, metrics in zip(values, results):
+        batch = f"{metrics.mean_batch_size:6.1f}" if metrics.mean_batch_size else "     -"
+        print(
+            f"{str(value):>14} {metrics.client_kb_per_sec:>8.0f} "
+            f"{metrics.server_cpu_pct:>7.1f} {metrics.disk_trans_per_sec:>9.1f} {batch}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "table": _cmd_table,
+        "copy": _cmd_copy,
+        "trace": _cmd_trace,
+        "laddis": _cmd_laddis,
+        "claims": _cmd_claims,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""Write gathering policy knobs (§6.6–§6.8, plus §8 future work).
+
+All of the paper's tunables — and the variants it discusses and rejects —
+are explicit policy here so the benchmarks can ablate them:
+
+* ``interval`` — the procrastination latency.  None means "use the
+  transport's empirically derived value" (8 ms Ethernet, 5 ms FDDI).
+* ``max_procrastinations`` — the paper procrastinates at most once.
+* ``reply_order`` — FIFO (chosen) or LIFO (tried and abandoned, §6.7).
+* ``use_mbuf_hunter`` — scan the socket buffer for follow-on writes
+  (essential under Prestoserve, §6.5).
+* ``learned_clients`` — Jeff Mogul's suggested per-client database (§8):
+  stop procrastinating for clients that never gather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["GatherPolicy", "REPLY_FIFO", "REPLY_LIFO"]
+
+REPLY_FIFO = "fifo"
+REPLY_LIFO = "lifo"
+
+
+@dataclass
+class GatherPolicy:
+    """Tunable behaviour of the gathering write path."""
+
+    #: Procrastination interval in seconds; None = transport default.
+    interval: Optional[float] = None
+    #: How many times one nfsd may procrastinate before becoming the
+    #: metadata writer (the paper: once).
+    max_procrastinations: int = 1
+    #: Reply ordering for a gathered batch.
+    reply_order: str = REPLY_FIFO
+    #: Whether to scan the socket buffer for follow-on writes.
+    use_mbuf_hunter: bool = True
+    #: Orphan-sweep delay, as a multiple of the procrastination interval
+    #: (§6.9 safety net: duplicates/stale handles must never leave writes
+    #: on the active queue with no metadata writer to send replies).
+    watchdog_factor: float = 4.0
+    #: Enable the §8 "learned clients" database.
+    learned_clients: bool = False
+    #: Extension: wake a procrastinating nfsd the moment another write for
+    #: its file reaches the server, instead of sleeping the full interval.
+    #: Cuts the injected latency without shrinking batches; not in the
+    #: paper (its sleeps were plain kernel timeouts), benchmarked as an
+    #: ablation.
+    early_wakeup: bool = False
+    #: A client is deemed non-gathering once this many of its recent writes
+    #: produced singleton batches (learned_clients mode).
+    learned_threshold: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_procrastinations < 0:
+            raise ValueError("max_procrastinations must be >= 0")
+        if self.reply_order not in (REPLY_FIFO, REPLY_LIFO):
+            raise ValueError(f"unknown reply order {self.reply_order!r}")
+        if self.watchdog_factor <= 0:
+            raise ValueError("watchdog_factor must be positive")
+        if self.interval is not None and self.interval < 0:
+            raise ValueError("interval must be >= 0")

@@ -1,0 +1,99 @@
+"""The [SIVA93] clustering variant, for comparison (§6.6 discussion).
+
+Sivaprakasam's SunOS implementation "takes the first write encountered and
+sends it to disk, using this operation as 'the latency device' which gives
+more write requests time to arrive at the server".  Juszczak rejected this
+because (a) running spindles on a stream of 8K requests is sub-optimal in
+drive throughput and CPU, and (b) it cannot work under NVRAM acceleration,
+where the first write completes before any follower can arrive.
+
+Implemented here as an alternative write path so the ablation benchmark can
+measure exactly those two claims against the procrastinating gatherer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+from repro.core.write_queue import WriteDescriptor, WriteQueueRegistry
+from repro.fs.ufs import FsError
+from repro.fs.vfs import FWRITE, FWRITE_METADATA, IO_DELAYDATA
+from repro.nfs.protocol import Fattr
+from repro.rpc.server import REPLY_DONE, REPLY_PENDING, TransportHandle
+from repro.sim import Counter, Tally
+
+__all__ = ["SivaWritePath"]
+
+
+class SivaWritePath:
+    """First-write-as-latency-device gathering."""
+
+    def __init__(self, server) -> None:
+        self.server = server
+        self.env = server.env
+        self.queues = WriteQueueRegistry()
+        self._leader_active: Dict[int, bool] = {}
+        self.writes = Counter(server.env, "siva.writes")
+        self.batch_size = Tally("siva.batch_size", keep_samples=True)
+
+    def handle(self, nfsd_id: int, handle: TransportHandle) -> Generator:
+        args = handle.call.args
+        try:
+            vnode = self.server.vnodes.by_fhandle(args.fhandle)
+        except FsError as exc:
+            yield from self.server.reply(handle, exc.code, None)
+            return REPLY_DONE
+        self.writes.add(1)
+        queue = self.queues.for_vnode(vnode)
+        descriptor = WriteDescriptor(
+            handle=handle,
+            offset=args.offset,
+            length=len(args.data),
+            client=handle.call.client,
+            enqueued_at=self.env.now,
+            data=args.data,
+        )
+        with vnode.lock.request() as grant:
+            yield grant
+            try:
+                yield from vnode.vop_write(args.offset, args.data, IO_DELAYDATA)
+            except FsError as exc:
+                yield from self.server.reply(handle, exc.code, None)
+                return REPLY_DONE
+        queue.append(descriptor)
+
+        if self._leader_active.get(vnode.ino):
+            # A leader's first-write is on its way to the disk; it will
+            # flush our data and send our reply.
+            return REPLY_PENDING
+
+        # We are the leader: our own data write *is* the latency device.
+        self._leader_active[vnode.ino] = True
+        try:
+            yield from vnode.vop_syncdata(args.offset, args.offset + len(args.data))
+        finally:
+            self._leader_active[vnode.ino] = False
+        descriptors = queue.take_all()
+        if not descriptors:
+            return REPLY_DONE  # raced; someone else replied for us
+        lo = min(d.offset for d in descriptors)
+        hi = max(d.end for d in descriptors)
+        yield from vnode.vop_syncdata(lo, hi)
+        # Same mtime-only asynchronous-update exemption as the reference
+        # port and the gathering path (§4.4).
+        if vnode.inode.inode_dirty or vnode.inode.indirect_dirty:
+            yield from vnode.vop_fsync(FWRITE | FWRITE_METADATA)
+        fattr = Fattr.from_inode(vnode.inode)
+        crash_time = getattr(self.server, "last_crash_time", -1.0)
+        for position, parked in enumerate(descriptors):
+            if parked.handle.acquired_at > crash_time:
+                superseded = any(
+                    later.offset < parked.end and parked.offset < later.end
+                    for later in descriptors[position + 1 :]
+                )
+                self.server.check_stable(
+                    vnode, parked.offset, parked.data, require_content=not superseded
+                )
+            yield from self.server.reply(parked.handle, "ok", fattr)
+        self.batch_size.observe(len(descriptors))
+        return REPLY_DONE

@@ -1,0 +1,90 @@
+"""Write descriptors and the active write queue (§6.2).
+
+"data structures that package up active write requests for handoff and a
+queue of these active requests."  A descriptor parks a request's transport
+handle (and byte range) until some nfsd — the metadata writer — commits the
+shared metadata update and sends all pending replies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.rpc.server import TransportHandle
+
+__all__ = ["WriteDescriptor", "ActiveWriteQueue", "WriteQueueRegistry"]
+
+
+@dataclass
+class WriteDescriptor:
+    """One parked write awaiting its (shared) metadata commit."""
+
+    handle: TransportHandle
+    offset: int
+    length: int
+    client: str
+    enqueued_at: float
+    #: Bytes as received; kept so the stable-storage invariant can be
+    #: checked against the durable image at reply time.
+    data: Optional[bytes] = field(default=None, repr=False)
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+class ActiveWriteQueue:
+    """FIFO of parked writes for one file."""
+
+    def __init__(self, vnode) -> None:
+        self.vnode = vnode
+        self._descriptors: List[WriteDescriptor] = []
+        #: True while an orphan watchdog process is armed for this queue.
+        self.watchdog_armed = False
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def append(self, descriptor: WriteDescriptor) -> None:
+        self._descriptors.append(descriptor)
+
+    def take_all(self) -> List[WriteDescriptor]:
+        """Atomically claim every parked descriptor (FIFO order).
+
+        Exclusive ownership is what guarantees exactly one reply per
+        request even if two nfsds race to become the metadata writer.
+        """
+        taken, self._descriptors = self._descriptors, []
+        return taken
+
+    def extent(self) -> Optional[tuple]:
+        """(min offset, max end) of parked writes, or None when empty."""
+        if not self._descriptors:
+            return None
+        lo = min(d.offset for d in self._descriptors)
+        hi = max(d.end for d in self._descriptors)
+        return (lo, hi)
+
+
+class WriteQueueRegistry:
+    """All per-file active write queues, keyed by inode number."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[int, ActiveWriteQueue] = {}
+
+    def for_vnode(self, vnode) -> ActiveWriteQueue:
+        queue = self._queues.get(vnode.ino)
+        if queue is None or queue.vnode is not vnode:
+            queue = ActiveWriteQueue(vnode)
+            self._queues[vnode.ino] = queue
+        return queue
+
+    def get(self, ino: int) -> Optional[ActiveWriteQueue]:
+        return self._queues.get(ino)
+
+    def pending_total(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def __iter__(self):
+        return iter(self._queues.values())

@@ -1,0 +1,25 @@
+"""Disk substrate: calibrated spindle model, devices, and striping driver."""
+
+from repro.disk.device import (
+    SCHEDULER_ELEVATOR,
+    SCHEDULER_FIFO,
+    DiskDevice,
+    IoRequest,
+    Storage,
+)
+from repro.disk.model import RZ26, DiskModel, DiskSpec
+from repro.disk.stats import IoStats
+from repro.disk.stripe import StripeSet
+
+__all__ = [
+    "DiskSpec",
+    "DiskModel",
+    "RZ26",
+    "DiskDevice",
+    "IoRequest",
+    "Storage",
+    "SCHEDULER_FIFO",
+    "SCHEDULER_ELEVATOR",
+    "IoStats",
+    "StripeSet",
+]

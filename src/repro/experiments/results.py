@@ -1,0 +1,133 @@
+"""Result serialization and fidelity scoring against the published numbers.
+
+A *fidelity score* for a measured series vs the paper's series is the
+geometric-mean ratio and the mean absolute log-ratio ("how many dBs off,
+on average").  The scorecard gives the reproduction a per-table,
+per-row verdict:
+
+* ``match``      — mean |log2 ratio| < 0.32  (within ~25%)
+* ``shape``      — < 1.0 (within ~2x, ordering preserved)
+* ``deviation``  — anything worse
+
+These bands are generous on purpose: our substrate is a calibrated
+simulator, and DESIGN.md §2 scopes the claim to shape, not absolutes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["SeriesFidelity", "score_series", "table_to_dict", "save_json", "VERDICTS"]
+
+VERDICTS = ("match", "shape", "deviation")
+
+_MATCH_BAND = 0.32  # mean |log2 ratio| ~ within 25%
+_SHAPE_BAND = 1.0  # within 2x
+
+
+@dataclass
+class SeriesFidelity:
+    """How one measured series compares with its published counterpart."""
+
+    label: str
+    measured: List[float]
+    paper: List[float]
+    geometric_mean_ratio: float
+    mean_abs_log2_ratio: float
+    ordering_preserved: bool
+    verdict: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _sign_pattern(values: Sequence[float]) -> List[int]:
+    """Direction of change between consecutive points (-1, 0, +1)."""
+    pattern = []
+    for a, b in zip(values, values[1:]):
+        if b > a * 1.05:
+            pattern.append(1)
+        elif b < a * 0.95:
+            pattern.append(-1)
+        else:
+            pattern.append(0)
+    return pattern
+
+
+def score_series(label: str, measured: Sequence[float], paper: Sequence[float]) -> SeriesFidelity:
+    """Score one measured series against the published one."""
+    if len(measured) != len(paper):
+        raise ValueError(
+            f"{label}: length mismatch ({len(measured)} vs {len(paper)})"
+        )
+    if not measured:
+        raise ValueError(f"{label}: empty series")
+    log_ratios = []
+    for m, p in zip(measured, paper):
+        if m <= 0 or p <= 0:
+            log_ratios.append(0.0 if m == p else 3.0)
+        else:
+            log_ratios.append(math.log2(m / p))
+    mean_abs = sum(abs(r) for r in log_ratios) / len(log_ratios)
+    geo_mean = 2 ** (sum(log_ratios) / len(log_ratios))
+    # Ordering: do measured values rise/fall where the paper's do?  Allow
+    # flat-vs-small-move disagreements.
+    m_pattern = _sign_pattern(measured)
+    p_pattern = _sign_pattern(paper)
+    disagreements = sum(
+        1 for a, b in zip(m_pattern, p_pattern) if a != 0 and b != 0 and a != b
+    )
+    ordering = disagreements == 0
+    if mean_abs < _MATCH_BAND:
+        verdict = "match"
+    elif mean_abs < _SHAPE_BAND and ordering:
+        verdict = "shape"
+    else:
+        verdict = "deviation"
+    return SeriesFidelity(
+        label=label,
+        measured=[round(v, 2) for v in measured],
+        paper=list(paper),
+        geometric_mean_ratio=round(geo_mean, 3),
+        mean_abs_log2_ratio=round(mean_abs, 3),
+        ordering_preserved=ordering,
+        verdict=verdict,
+    )
+
+
+def table_to_dict(result) -> dict:
+    """Serialize a TableResult (and its spec) for JSON export."""
+    spec = result.spec
+    def cells(items):
+        return [
+            {
+                "nbiods": m.nbiods,
+                "client_kb_per_sec": round(m.client_kb_per_sec, 1),
+                "server_cpu_pct": round(m.server_cpu_pct, 1),
+                "disk_kb_per_sec": round(m.disk_kb_per_sec, 1),
+                "disk_trans_per_sec": round(m.disk_trans_per_sec, 1),
+                "mean_batch_size": m.mean_batch_size,
+                "elapsed_seconds": round(m.elapsed_seconds, 4),
+            }
+            for m in items
+        ]
+
+    return {
+        "table": spec.number,
+        "title": spec.title,
+        "network": spec.netspec.name,
+        "presto_bytes": spec.presto_bytes,
+        "stripes": spec.stripes,
+        "biods": list(spec.biods),
+        "standard": cells(result.standard),
+        "gathering": cells(result.gathering),
+    }
+
+
+def save_json(path: str, payload) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,114 @@
+"""Testbed assembly: wire a network, disks, NVRAM, server, and clients.
+
+One :class:`TestbedConfig` describes a whole hardware configuration from
+the paper's Results section (network technology, spindle count, Presto
+on/off, nfsd count, write path) and :func:`build_testbed` stands it up
+inside a fresh simulation environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.core.policy import GatherPolicy
+from repro.disk.device import DiskDevice, Storage
+from repro.disk.model import RZ26, DiskSpec
+from repro.disk.stripe import StripeSet
+from repro.net.segment import Segment
+from repro.net.spec import ETHERNET, NetSpec
+from repro.nfs.client import NfsClient
+from repro.nvram.presto import PrestoCache
+from repro.rpc.client import RpcClient
+from repro.server.base import NfsServer
+from repro.server.config import ServerConfig
+from repro.sim import Environment
+
+__all__ = ["TestbedConfig", "Testbed", "build_testbed"]
+
+
+@dataclass
+class TestbedConfig:
+    """A full experiment configuration."""
+
+    netspec: NetSpec = ETHERNET
+    write_path: str = "standard"
+    nbiods: int = 4
+    #: NVRAM accelerator: None = off, else capacity in bytes.
+    presto_bytes: Optional[int] = None
+    stripes: int = 1
+    disk_spec: DiskSpec = RZ26
+    nfsds: int = 8
+    cpu_scale: float = 1.0
+    verify_stable: bool = True
+    gather_policy: GatherPolicy = field(default_factory=GatherPolicy)
+    client_write_cpu: float = 0.0003
+    seed: int = 0
+
+    def variant(self, **changes) -> "TestbedConfig":
+        """A copy with some fields replaced (sweeps build on this)."""
+        return replace(self, **changes)
+
+
+class Testbed:
+    """A wired-up simulation: environment, network, server, clients."""
+
+    def __init__(self, config: TestbedConfig) -> None:
+        self.config = config
+        self.env = Environment()
+        self.segment = Segment(self.env, config.netspec, seed=config.seed)
+        self.disks: List[DiskDevice] = [
+            DiskDevice(self.env, config.disk_spec, name=f"{config.disk_spec.name}-{i}")
+            for i in range(config.stripes)
+        ]
+        base: Storage
+        if config.stripes > 1:
+            base = StripeSet(self.env, self.disks)
+        else:
+            base = self.disks[0]
+        self.base_storage = base
+        if config.presto_bytes:
+            self.storage: Storage = PrestoCache(
+                self.env, base, capacity=config.presto_bytes
+            )
+        else:
+            self.storage = base
+        server_config = ServerConfig(
+            nfsds=config.nfsds,
+            write_path=config.write_path,
+            gather_policy=config.gather_policy,
+            verify_stable=config.verify_stable,
+            cpu_scale=config.cpu_scale,
+        )
+        self.server = NfsServer(self.env, self.segment, self.storage, config=server_config)
+        self.clients: List[NfsClient] = []
+
+    def add_client(self, nbiods: Optional[int] = None, host: Optional[str] = None) -> NfsClient:
+        """Attach one more client host."""
+        index = len(self.clients)
+        endpoint = self.segment.attach(host or f"client-{index}")
+        rpc = RpcClient(self.env, endpoint, self.server.host)
+        client = NfsClient(
+            self.env,
+            rpc,
+            nbiods=self.config.nbiods if nbiods is None else nbiods,
+            write_cpu=self.config.client_write_cpu,
+        )
+        self.clients.append(client)
+        return client
+
+    # -- measured quantities ------------------------------------------------------
+
+    def disk_stats_totals(self) -> tuple:
+        """(bytes, transactions) across all spindles."""
+        total_bytes = sum(d.stats.bytes.value for d in self.disks)
+        total_transactions = sum(d.stats.transactions.value for d in self.disks)
+        return total_bytes, total_transactions
+
+
+def build_testbed(config: TestbedConfig, clients: int = 1) -> Testbed:
+    """Stand up a testbed with ``clients`` attached client hosts."""
+    testbed = Testbed(config)
+    for _ in range(clients):
+        testbed.add_client()
+    return testbed

@@ -1,0 +1,46 @@
+"""Filesystem substrate: FFS-style UFS with clustering and the paper's VFS hints."""
+
+from repro.fs.allocator import Allocator, CylinderGroup, NoSpace
+from repro.fs.buffer_cache import Buffer, BufferCache, DurableImage, FlushRun
+from repro.fs.fsck import FsckReport, fsck
+from repro.fs.inode import NDIRECT, FileType, Inode, InodeSnapshot
+from repro.fs.ufs import ROOT_INO, CostModel, FsError, Ufs, WriteResult
+from repro.fs.vfs import (
+    FWRITE,
+    FWRITE_METADATA,
+    IO_DATAONLY,
+    IO_DELAYDATA,
+    IO_SYNC,
+    FileHandle,
+    Vnode,
+    VnodeTable,
+)
+
+__all__ = [
+    "Allocator",
+    "CylinderGroup",
+    "NoSpace",
+    "Buffer",
+    "BufferCache",
+    "DurableImage",
+    "FlushRun",
+    "fsck",
+    "FsckReport",
+    "Inode",
+    "InodeSnapshot",
+    "FileType",
+    "NDIRECT",
+    "Ufs",
+    "FsError",
+    "CostModel",
+    "WriteResult",
+    "ROOT_INO",
+    "IO_SYNC",
+    "IO_DATAONLY",
+    "IO_DELAYDATA",
+    "FWRITE",
+    "FWRITE_METADATA",
+    "Vnode",
+    "VnodeTable",
+    "FileHandle",
+]

@@ -1,0 +1,239 @@
+"""Buffer cache with delayed writes, clustering, and a durable image.
+
+The cache holds real bytes, because the reproduction checks *content*
+invariants, not just timings:
+
+* every buffer is an 8K block's in-core copy;
+* delayed (dirty) buffers are what UFS clustering ([MCVO91]) coalesces into
+  up-to-64K device transactions;
+* the :class:`DurableImage` records what is actually on stable storage —
+  a block's bytes enter the image only when the storage device reports the
+  corresponding transaction complete, with the bytes snapshotted at submit
+  time.  Crash-consistency tests compare NFS replies against this image.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.disk.device import Storage
+from repro.fs.inode import InodeSnapshot
+from repro.sim import AllOf, Environment, Event
+
+__all__ = ["Buffer", "BufferCache", "DurableImage", "FlushRun"]
+
+
+class Buffer:
+    """One cached disk block."""
+
+    __slots__ = ("addr", "size", "data", "dirty", "version", "last_use")
+
+    def __init__(self, addr: int, size: int) -> None:
+        self.addr = addr
+        self.size = size
+        self.data = bytearray(size)
+        self.dirty = False
+        #: Bumped on every modification; flush completions only clean the
+        #: buffer if the version is unchanged since the snapshot.
+        self.version = 0
+        self.last_use = 0.0
+
+
+class DurableImage:
+    """What stable storage currently holds (blocks + committed metadata)."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, bytes] = {}
+        self.inodes: Dict[int, InodeSnapshot] = {}
+        self.indirects: Dict[int, Dict[int, int]] = {}
+
+    def commit_block(self, addr: int, data: bytes) -> None:
+        self.blocks[addr] = data
+
+    def commit_inode(self, ino: int, snapshot: InodeSnapshot) -> None:
+        self.inodes[ino] = snapshot
+
+    def commit_indirect(self, ino: int, mapping: Dict[int, int]) -> None:
+        self.indirects[ino] = dict(mapping)
+
+
+class FlushRun:
+    """A contiguous run of dirty buffers flushed as one device transaction."""
+
+    __slots__ = ("start", "nbytes", "buffers", "snapshots")
+
+    def __init__(self, start: int, buffers: List[Buffer]) -> None:
+        self.start = start
+        self.buffers = buffers
+        self.nbytes = sum(buffer.size for buffer in buffers)
+        self.snapshots: List[Tuple[Buffer, bytes, int]] = []
+
+    def snapshot(self) -> None:
+        """Capture buffer contents and versions at submit time."""
+        self.snapshots = [
+            (buffer, bytes(buffer.data), buffer.version) for buffer in self.buffers
+        ]
+
+
+class BufferCache:
+    """Block cache over a :class:`Storage`, with LRU eviction of clean data."""
+
+    def __init__(
+        self,
+        env: Environment,
+        storage: Storage,
+        block_size: int = 8192,
+        cluster_size: int = 65536,
+        capacity_blocks: int = 4096,
+    ) -> None:
+        if cluster_size % block_size != 0:
+            raise ValueError("cluster size must be a multiple of the block size")
+        self.env = env
+        self.storage = storage
+        self.block_size = block_size
+        self.cluster_size = cluster_size
+        self.capacity_blocks = capacity_blocks
+        self._buffers: "OrderedDict[int, Buffer]" = OrderedDict()
+        self.durable = DurableImage()
+        #: Completion events of async flushes still in flight, keyed by the
+        #: run's start address (syncdata waits on overlapping ones).
+        self._in_flight: Dict[int, Tuple[Event, int]] = {}
+
+    # -- basic cache operations ---------------------------------------------
+
+    def lookup(self, addr: int) -> Optional[Buffer]:
+        """Return the cached buffer for ``addr`` without faulting one in."""
+        buffer = self._buffers.get(addr)
+        if buffer is not None:
+            buffer.last_use = self.env.now
+            self._buffers.move_to_end(addr)
+        return buffer
+
+    def get(self, addr: int) -> Buffer:
+        """Return (creating if needed) the buffer for block ``addr``.
+
+        A newly created buffer is initialized from the durable image if the
+        block has ever been written, else zero-filled (a fresh block).
+        """
+        buffer = self.lookup(addr)
+        if buffer is None:
+            buffer = Buffer(addr, self.block_size)
+            durable = self.durable.blocks.get(addr)
+            if durable is not None:
+                buffer.data[:] = durable
+            buffer.last_use = self.env.now
+            self._buffers[addr] = buffer
+            self._evict_if_needed()
+        return buffer
+
+    def is_cached(self, addr: int) -> bool:
+        return addr in self._buffers
+
+    def mark_dirty(self, buffer: Buffer) -> None:
+        buffer.dirty = True
+        buffer.version += 1
+
+    def drop_clean(self) -> int:
+        """Evict every clean buffer (simulates a cold cache).  Returns count."""
+        clean = [addr for addr, buffer in self._buffers.items() if not buffer.dirty]
+        for addr in clean:
+            del self._buffers[addr]
+        return len(clean)
+
+    def _evict_if_needed(self) -> None:
+        while len(self._buffers) > self.capacity_blocks:
+            victim_addr = None
+            for addr, buffer in self._buffers.items():  # LRU order
+                if not buffer.dirty:
+                    victim_addr = addr
+                    break
+            if victim_addr is None:
+                break  # everything dirty; let the cache balloon rather than lose data
+            del self._buffers[victim_addr]
+
+    # -- flush planning and execution ----------------------------------------
+
+    def plan_runs(self, addrs: Iterable[int]) -> List[FlushRun]:
+        """Group dirty buffers at ``addrs`` into clustered contiguous runs.
+
+        Runs never exceed ``cluster_size`` bytes; only currently dirty,
+        cached buffers participate.
+        """
+        dirty = sorted(
+            addr
+            for addr in set(addrs)
+            if addr in self._buffers and self._buffers[addr].dirty
+        )
+        runs: List[FlushRun] = []
+        current: List[Buffer] = []
+        current_start = 0
+        for addr in dirty:
+            buffer = self._buffers[addr]
+            if (
+                current
+                and addr == current_start + sum(b.size for b in current)
+                and sum(b.size for b in current) + buffer.size <= self.cluster_size
+            ):
+                current.append(buffer)
+            else:
+                if current:
+                    runs.append(FlushRun(current_start, current))
+                current = [buffer]
+                current_start = addr
+        if current:
+            runs.append(FlushRun(current_start, current))
+        return runs
+
+    def flush_runs(
+        self,
+        runs: List[FlushRun],
+        kind: str = "data",
+        on_commit: Optional[Callable[[FlushRun], None]] = None,
+    ):
+        """Submit ``runs`` in parallel; generator completes when all stable."""
+        events = [self._submit_run(run, kind, on_commit) for run in runs]
+        if events:
+            yield AllOf(self.env, events)
+
+    def flush_runs_async(
+        self,
+        runs: List[FlushRun],
+        kind: str = "data",
+        on_commit: Optional[Callable[[FlushRun], None]] = None,
+    ) -> List[Event]:
+        """Submit ``runs`` without waiting; returns their completion events."""
+        return [self._submit_run(run, kind, on_commit) for run in runs]
+
+    def _submit_run(
+        self, run: FlushRun, kind: str, on_commit: Optional[Callable[[FlushRun], None]]
+    ) -> Event:
+        run.snapshot()
+        # The snapshot is what will land on stable storage; the buffer no
+        # longer *needs* flushing unless it is modified again (mark_dirty
+        # re-dirties it, and the version check below keeps the re-dirty).
+        for buffer, _data, _version in run.snapshots:
+            buffer.dirty = False
+        device_event = self.storage.submit(run.start, run.nbytes, is_write=True, kind=kind)
+        done = self.env.event()
+        self._in_flight[id(run)] = (done, run.start)
+
+        def complete(_event: Event) -> None:
+            for buffer, data, _version in run.snapshots:
+                self.durable.commit_block(buffer.addr, data)
+            if on_commit is not None:
+                on_commit(run)
+            # pop, not del: a simulated crash clears the tracking table
+            # while device completions are still in flight.
+            self._in_flight.pop(id(run), None)
+            done.succeed(run)
+
+        device_event.callbacks.append(complete)
+        return done
+
+    def in_flight_events(self) -> List[Event]:
+        """Completion events for all flushes currently in flight."""
+        return [event for event, _start in self._in_flight.values()]
+
+    def dirty_addrs(self) -> List[int]:
+        return [addr for addr, buffer in self._buffers.items() if buffer.dirty]

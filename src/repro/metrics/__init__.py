@@ -1,0 +1,14 @@
+"""Experiment metrics and paper-style report rendering."""
+
+from repro.metrics.collect import FileCopyMetrics
+from repro.metrics.report import format_comparison, format_paper_table
+from repro.metrics.svg import LineChart
+from repro.metrics.timeseries import RateSeries
+
+__all__ = [
+    "FileCopyMetrics",
+    "format_paper_table",
+    "format_comparison",
+    "LineChart",
+    "RateSeries",
+]

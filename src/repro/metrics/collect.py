@@ -1,0 +1,39 @@
+"""Metric records matching the paper's table rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["FileCopyMetrics"]
+
+
+@dataclass
+class FileCopyMetrics:
+    """One cell of Tables 1-6: a 10 MB file copy under one configuration."""
+
+    label: str
+    nbiods: int
+    #: "client write speed (KB/sec.)"
+    client_kb_per_sec: float
+    #: "server cpu util. (%)"
+    server_cpu_pct: float
+    #: "server disk (KB/sec)" — aggregate over stripe members.
+    disk_kb_per_sec: float
+    #: "server disk (trans/sec)"
+    disk_trans_per_sec: float
+    elapsed_seconds: float
+    #: Gathering observability (None for the standard server).
+    mean_batch_size: Optional[float] = None
+    gather_success_rate: Optional[float] = None
+    procrastinations: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, float]:
+        """The four numbers the paper prints, rounded the same way."""
+        return {
+            "client write speed (KB/sec.)": round(self.client_kb_per_sec),
+            "server cpu util. (%)": round(self.server_cpu_pct),
+            "server disk (KB/sec)": round(self.disk_kb_per_sec),
+            "server disk (trans/sec)": round(self.disk_trans_per_sec),
+        }

@@ -1,0 +1,179 @@
+"""A small dependency-free SVG line-chart renderer.
+
+Used by ``scripts/render_figures.py`` to produce Figure 2/3 style plots
+(throughput vs response time) without matplotlib — the offline environment
+has no plotting stack, and the charts are simple enough that hand-rolled
+SVG is clearer than a dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["LineChart", "Series"]
+
+_PALETTE = ["#1f6fb2", "#c4542d", "#3a8a4d", "#7b5aa6", "#a0893b"]
+
+
+@dataclass
+class Series:
+    name: str
+    points: List[Tuple[float, float]]
+    color: str
+    dashed: bool = False
+
+
+def _nice_ticks(low: float, high: float, target: int = 5) -> List[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(1, target)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 2.5, 5, 10):
+        step = multiple * magnitude
+        if span / step <= target:
+            break
+    first = math.floor(low / step) * step
+    ticks = []
+    tick = first
+    while True:
+        ticks.append(round(tick, 10))
+        if tick >= high - step * 0.01:
+            break
+        tick += step
+    return ticks
+
+
+class LineChart:
+    """Accumulates series, renders one SVG string."""
+
+    def __init__(
+        self,
+        title: str,
+        x_label: str,
+        y_label: str,
+        width: int = 640,
+        height: int = 420,
+    ) -> None:
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.width = width
+        self.height = height
+        self.margin = dict(left=64, right=20, top=44, bottom=52)
+        self.series: List[Series] = []
+
+    def add_series(
+        self,
+        name: str,
+        points: Sequence[Tuple[float, float]],
+        color: Optional[str] = None,
+        dashed: bool = False,
+    ) -> None:
+        if not points:
+            raise ValueError(f"series {name!r} has no points")
+        chosen = color or _PALETTE[len(self.series) % len(_PALETTE)]
+        self.series.append(Series(name, sorted(points), chosen, dashed))
+
+    # -- rendering ------------------------------------------------------------
+
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [x for series in self.series for x, _y in series.points]
+        ys = [y for series in self.series for _x, y in series.points]
+        return min(min(xs), 0.0), max(xs), min(min(ys), 0.0), max(ys)
+
+    def render(self) -> str:
+        if not self.series:
+            raise ValueError("no series to render")
+        x_low, x_high, y_low, y_high = self._bounds()
+        x_ticks = _nice_ticks(x_low, x_high)
+        y_ticks = _nice_ticks(y_low, y_high)
+        x_low, x_high = min(x_ticks), max(x_ticks)
+        y_low, y_high = min(y_ticks), max(y_ticks)
+        plot_w = self.width - self.margin["left"] - self.margin["right"]
+        plot_h = self.height - self.margin["top"] - self.margin["bottom"]
+
+        def sx(x: float) -> float:
+            return self.margin["left"] + (x - x_low) / (x_high - x_low) * plot_w
+
+        def sy(y: float) -> float:
+            return self.margin["top"] + plot_h - (y - y_low) / (y_high - y_low) * plot_h
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            f'font-family="sans-serif">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="24" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{self.title}</text>',
+        ]
+        # Gridlines + tick labels.
+        for tick in x_ticks:
+            x = sx(tick)
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{self.margin["top"]}" x2="{x:.1f}" '
+                f'y2="{self.margin["top"] + plot_h}" stroke="#ddd"/>'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{self.margin["top"] + plot_h + 18}" '
+                f'text-anchor="middle" font-size="11">{tick:g}</text>'
+            )
+        for tick in y_ticks:
+            y = sy(tick)
+            parts.append(
+                f'<line x1="{self.margin["left"]}" y1="{y:.1f}" '
+                f'x2="{self.margin["left"] + plot_w}" y2="{y:.1f}" stroke="#ddd"/>'
+            )
+            parts.append(
+                f'<text x="{self.margin["left"] - 8}" y="{y + 4:.1f}" '
+                f'text-anchor="end" font-size="11">{tick:g}</text>'
+            )
+        # Axes.
+        parts.append(
+            f'<rect x="{self.margin["left"]}" y="{self.margin["top"]}" '
+            f'width="{plot_w}" height="{plot_h}" fill="none" stroke="#444"/>'
+        )
+        parts.append(
+            f'<text x="{self.margin["left"] + plot_w / 2}" y="{self.height - 12}" '
+            f'text-anchor="middle" font-size="12">{self.x_label}</text>'
+        )
+        parts.append(
+            f'<text x="16" y="{self.margin["top"] + plot_h / 2}" font-size="12" '
+            f'text-anchor="middle" transform="rotate(-90 16 '
+            f'{self.margin["top"] + plot_h / 2})">{self.y_label}</text>'
+        )
+        # Series.
+        for series in self.series:
+            coords = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in series.points)
+            dash = ' stroke-dasharray="6 4"' if series.dashed else ""
+            parts.append(
+                f'<polyline points="{coords}" fill="none" '
+                f'stroke="{series.color}" stroke-width="2"{dash}/>'
+            )
+            for x, y in series.points:
+                parts.append(
+                    f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3.2" '
+                    f'fill="{series.color}"/>'
+                )
+        # Legend.
+        legend_y = self.margin["top"] + 8
+        for index, series in enumerate(self.series):
+            y = legend_y + index * 18
+            x = self.margin["left"] + 12
+            dash = ' stroke-dasharray="6 4"' if series.dashed else ""
+            parts.append(
+                f'<line x1="{x}" y1="{y}" x2="{x + 24}" y2="{y}" '
+                f'stroke="{series.color}" stroke-width="2"{dash}/>'
+            )
+            parts.append(
+                f'<text x="{x + 30}" y="{y + 4}" font-size="11">{series.name}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.render())

@@ -1,0 +1,91 @@
+"""Bucketed rate series: throughput over time.
+
+The §5 case study is about *dynamics* — uni-directional traffic trains
+alternating with reply bursts — which a single average hides.  A
+:class:`RateSeries` buckets observations into fixed windows so experiments
+can show (and tests can assert) the oscillation itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.sim import Environment
+
+__all__ = ["RateSeries"]
+
+
+class RateSeries:
+    """Accumulates (time, amount) observations into fixed-width buckets."""
+
+    def __init__(self, env: Environment, bucket_seconds: float = 0.01) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError(f"bucket width must be positive, got {bucket_seconds}")
+        self.env = env
+        self.bucket_seconds = bucket_seconds
+        self._start = env.now
+        self._buckets: List[float] = []
+
+    def observe(self, amount: float = 1.0) -> None:
+        """Record ``amount`` at the current simulation time."""
+        index = int((self.env.now - self._start) / self.bucket_seconds)
+        if index < 0:
+            raise ValueError("observation before the series start")
+        while len(self._buckets) <= index:
+            self._buckets.append(0.0)
+        self._buckets[index] += amount
+
+    # -- queries -----------------------------------------------------------
+
+    def buckets(self) -> List[Tuple[float, float]]:
+        """(bucket start time, rate per second) pairs."""
+        return [
+            (self._start + i * self.bucket_seconds, total / self.bucket_seconds)
+            for i, total in enumerate(self._buckets)
+        ]
+
+    def rates(self) -> List[float]:
+        return [total / self.bucket_seconds for total in self._buckets]
+
+    def mean_rate(self) -> float:
+        if not self._buckets:
+            return 0.0
+        return sum(self._buckets) / (len(self._buckets) * self.bucket_seconds)
+
+    def burstiness(self) -> float:
+        """Coefficient of variation of the per-bucket rates.
+
+        ~0 for a smooth stream; large for on/off train-and-wait cycles.
+        """
+        rates = self.rates()
+        if len(rates) < 2:
+            return 0.0
+        mean = sum(rates) / len(rates)
+        if mean == 0:
+            return 0.0
+        variance = sum((r - mean) ** 2 for r in rates) / len(rates)
+        return math.sqrt(variance) / mean
+
+    def idle_fraction(self) -> float:
+        """Fraction of buckets with no activity at all — the 'silent'
+        halves of the §5 traffic cycles."""
+        if not self._buckets:
+            return 0.0
+        return sum(1 for total in self._buckets if total == 0) / len(self._buckets)
+
+    def sparkline(self, width: int = 60) -> str:
+        """Compact text rendering (one char per resampled bucket)."""
+        rates = self.rates()
+        if not rates:
+            return ""
+        glyphs = " .:-=+*#%@"
+        step = max(1, len(rates) // width)
+        resampled = [
+            max(rates[i : i + step]) for i in range(0, len(rates), step)
+        ]
+        peak = max(resampled) or 1.0
+        return "".join(
+            glyphs[min(len(glyphs) - 1, int(rate / peak * (len(glyphs) - 1)))]
+            for rate in resampled
+        )

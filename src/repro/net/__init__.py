@@ -1,0 +1,16 @@
+"""Network substrate: shared segments, datagrams, UDP endpoints."""
+
+from repro.net.packet import Datagram
+from repro.net.segment import Segment
+from repro.net.spec import ETHERNET, FDDI, NetSpec
+from repro.net.udp import SocketBuffer, UdpEndpoint
+
+__all__ = [
+    "NetSpec",
+    "ETHERNET",
+    "FDDI",
+    "Datagram",
+    "Segment",
+    "SocketBuffer",
+    "UdpEndpoint",
+]

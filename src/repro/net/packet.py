@@ -1,0 +1,36 @@
+"""Datagrams: what travels across a simulated segment.
+
+A datagram carries an arbitrary payload object (an RPC call or reply) plus
+its wire size; the segment fragments it into MTU-sized frames for
+transmission timing, and the receiving host pays per-frame CPU to reassemble
+it (§4.1's "server CPU overhead due to packet reassembly").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Datagram"]
+
+_sequence = itertools.count(1)
+
+
+@dataclass
+class Datagram:
+    """A UDP datagram in flight or queued in a socket buffer."""
+
+    src: str
+    dst: str
+    payload: Any
+    #: UDP payload size in bytes (data + protocol headers above IP).
+    size: int
+    #: Number of frames this datagram was fragmented into (set on send).
+    fragments: int = 1
+    #: Monotonic id, for deterministic tie-breaking and tracing.
+    seq: int = field(default_factory=lambda: next(_sequence))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"datagram size must be positive, got {self.size}")

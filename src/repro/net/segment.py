@@ -1,0 +1,113 @@
+"""A shared network segment (private Ethernet or FDDI ring).
+
+Both technologies in the paper are shared media: every frame from every
+host serializes on the one channel.  The segment models this with a single
+transmission resource acquired *per frame*, so a long request train and the
+reply traffic interleave frame-by-frame exactly as in the §5 case study.
+
+Delivery places the reassembled datagram into the destination endpoint's
+socket buffer; if that buffer is full the datagram is dropped, which is how
+an overloaded server sheds load back onto client retransmission (§4.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.net.packet import Datagram
+from repro.net.spec import NetSpec
+from repro.net.udp import UdpEndpoint
+from repro.sim import Counter, Environment, Resource, Store, UtilizationMeter
+
+__all__ = ["Segment"]
+
+
+class Segment:
+    """One shared-medium network segment with attached hosts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: NetSpec,
+        name: str = "",
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        self.env = env
+        self.spec = spec
+        self.name = name or spec.name
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self._medium = Resource(env, capacity=1)
+        self._endpoints: Dict[str, UdpEndpoint] = {}
+        self._tx_queues: Dict[str, object] = {}
+        self.utilization = UtilizationMeter(env, f"{self.name}.wire")
+        self.delivered = Counter(env, f"{self.name}.delivered")
+        self.dropped = Counter(env, f"{self.name}.dropped")
+        self.lost = Counter(env, f"{self.name}.lost")
+        self.bytes_moved = Counter(env, f"{self.name}.bytes")
+
+    def attach(self, host: str, buffer_bytes: int = 256 * 1024) -> UdpEndpoint:
+        """Create an endpoint for ``host`` with a bounded socket buffer."""
+        if host in self._endpoints:
+            raise ValueError(f"host {host!r} already attached to {self.name}")
+        endpoint = UdpEndpoint(self.env, host, self, buffer_bytes)
+        self._endpoints[host] = endpoint
+        self._tx_queues[host] = Store(self.env)
+        self.env.process(self._host_transmitter(host), name=f"nic:{host}")
+        return endpoint
+
+    def endpoint(self, host: str) -> UdpEndpoint:
+        return self._endpoints[host]
+
+    def send(self, datagram: Datagram) -> None:
+        """Queue ``datagram`` on its source host's NIC; returns immediately."""
+        if datagram.dst not in self._endpoints:
+            raise ValueError(f"unknown destination host {datagram.dst!r}")
+        if datagram.src not in self._tx_queues:
+            raise ValueError(f"unknown source host {datagram.src!r}")
+        datagram.fragments = self.spec.frames_for(datagram.size)
+        self._tx_queues[datagram.src].put(datagram)
+
+    def _host_transmitter(self, host: str):
+        """One host's NIC: transmits its queued datagrams strictly in order,
+        contending for the shared medium frame by frame."""
+        queue = self._tx_queues[host]
+        while True:
+            datagram = yield queue.get()
+            lost = yield from self._transmit_frames(datagram)
+            # Propagation/delivery happens off the NIC's critical path.
+            self.env.process(
+                self._deliver(datagram, lost), name=f"rx:{datagram.seq}"
+            )
+
+    def _transmit_frames(self, datagram: Datagram):
+        frames = datagram.fragments
+        frame_payload = -(-datagram.size // frames)  # even-ish split
+        lost = False
+        for index in range(frames):
+            payload = min(frame_payload, datagram.size - index * frame_payload)
+            wire_bytes = payload + self.spec.frame_overhead
+            with self._medium.request() as grant:
+                yield grant
+                self.utilization.begin()
+                yield self.env.timeout(wire_bytes * 8.0 / self.spec.bandwidth_bps)
+                self.utilization.end()
+            self.bytes_moved.add(wire_bytes)
+            if self.loss_rate and self._rng.random() < self.loss_rate:
+                lost = True  # keep transmitting; the medium time is spent
+        return lost
+
+    def _deliver(self, datagram: Datagram, lost: bool):
+        yield self.env.timeout(self.spec.latency)
+        if lost:
+            self.lost.add(1)
+            return
+        target = self._endpoints[datagram.dst]
+        if not target.deliver(datagram):
+            self.dropped.add(1)
+        else:
+            self.delivered.add(1)

@@ -1,0 +1,401 @@
+"""NFS client with biod write-behind and sync-on-close semantics (§4.1).
+
+The behaviours write gathering exploits all live here:
+
+* application writes accumulate in an 8K client cache block; when the block
+  fills ("needs to go to the wire"), it becomes an NFS WRITE request;
+* the request is handed to an idle biod, letting the application continue —
+  this is what makes several writes for the same file arrive at the server
+  at about the same time;
+* if no biod is free, the application itself blocks performing the RPC
+  (client/server flow control);
+* ``close(2)`` blocks until every outstanding write has been answered,
+  mostly to surface an ENOSPC from an earlier asynchronous write.
+
+Setting ``nbiods=0`` yields the "dumb PC" single-threaded client of §6.10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.fs.vfs import FileHandle
+from repro.nfs.protocol import (
+    NFS_MAX_DATA,
+    PROC_CREATE,
+    PROC_GETATTR,
+    PROC_LOOKUP,
+    PROC_READ,
+    PROC_READDIR,
+    PROC_REMOVE,
+    PROC_READLINK,
+    PROC_RENAME,
+    PROC_SETATTR,
+    PROC_STATFS,
+    PROC_SYMLINK,
+    PROC_WRITE,
+    WEIGHT_OF,
+    CreateArgs,
+    Fattr,
+    LookupArgs,
+    NfsError,
+    ReadArgs,
+    RemoveArgs,
+    RenameArgs,
+    SetattrArgs,
+    SymlinkArgs,
+    WriteArgs,
+    call_size,
+    reply_size,
+)
+from repro.rpc.client import RpcClient
+from repro.sim import AllOf, Counter, Environment, Event, Tally
+
+__all__ = ["NfsClient", "OpenFile"]
+
+
+class OpenFile:
+    """Client-side state for one open file."""
+
+    def __init__(self, fhandle: FileHandle, name: str) -> None:
+        self.fhandle = fhandle
+        self.name = name
+        #: Write cursor for sequential writes via write_stream().
+        self.cursor = 0
+        #: Partial client cache block not yet "gone to the wire".
+        self.pending = bytearray()
+        self.pending_offset = 0
+        #: Completion events of writes handed off to biods.
+        self.outstanding: List[Event] = []
+        #: First asynchronous error, reported at close (sync-on-close).
+        self.error: Optional[str] = None
+        #: NFSv3: data sent with stable=False, kept until a matching COMMIT
+        #: succeeds (the client may have to resend it after a server crash).
+        self.uncommitted: List[tuple] = []
+        #: NFSv3: the server write verifier seen on the first unstable
+        #: reply; a change means the server rebooted and lost our data.
+        self.verifier: Optional[int] = None
+        self.needs_replay = False
+        #: Read-ahead state: where a sequential reader's next read would
+        #: start, and prefetches in flight (offset -> completion event).
+        self.read_cursor = 0
+        self.prefetched: dict = {}
+        #: File size as last reported by the server (bounds read-ahead).
+        self.known_size: Optional[int] = None
+
+
+class NfsClient:
+    """One client host's NFS layer."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rpc: RpcClient,
+        nbiods: int = 4,
+        write_cpu: float = 0.0003,
+        nfs_version: int = 2,
+        read_ahead: bool = False,
+    ) -> None:
+        if nbiods < 0:
+            raise ValueError(f"nbiods must be >= 0, got {nbiods}")
+        if nfs_version not in (2, 3):
+            raise ValueError(f"nfs_version must be 2 or 3, got {nfs_version}")
+        self.env = env
+        self.rpc = rpc
+        self.nbiods = nbiods
+        #: 2 = stable-before-reply writes; 3 = unstable writes + COMMIT
+        #: ("reliable asynchronous writes", the paper's §8).
+        self.nfs_version = nfs_version
+        #: Biods also "perform client read-ahead" (§4.1); off by default so
+        #: read traffic is explicit unless a workload opts in.
+        self.read_ahead = read_ahead
+        #: Per-write client-side kernel work before the request hits the wire.
+        self.write_cpu = write_cpu
+        self._busy_biods = 0
+        self.bytes_written = Counter(env, "nfs.bytes_written")
+        self.write_latency = Tally("nfs.write_latency")
+        self.biod_handoffs = Counter(env, "nfs.biod_handoffs")
+        self.blocked_writes = Counter(env, "nfs.blocked_writes")
+        self.readahead_hits = Counter(env, "nfs.readahead_hits")
+        self.root_fhandle: FileHandle = (2, 0)
+
+    # -- generic RPC wrapper ---------------------------------------------------
+
+    def _call(self, proc: str, args) -> Generator:
+        reply = yield from self.rpc.call(
+            proc,
+            args,
+            size=call_size(proc, args),
+            reply_size=reply_size(proc, args),
+            weight=WEIGHT_OF[proc],
+        )
+        if not reply.ok:
+            raise NfsError(reply.status)
+        return reply.result
+
+    # -- namespace operations ----------------------------------------------------
+
+    def mount(self, path: str = "/export") -> Generator:
+        """MOUNT protocol: fetch the export's root file handle.
+
+        Optional — clients default to the well-known root handle so the
+        write-gathering experiments stay minimal — but real clients mount
+        first, and tests exercise the EACCES path for unexported trees.
+        """
+        from repro.nfs.protocol import PROC_MOUNT
+
+        fhandle, _fattr = yield from self._call(PROC_MOUNT, path)
+        self.root_fhandle = fhandle
+        return fhandle
+
+    def umount(self, path: str = "/export") -> Generator:
+        from repro.nfs.protocol import PROC_UMOUNT
+
+        return (yield from self._call(PROC_UMOUNT, path))
+
+    def lookup(self, name: str, dir_fhandle: Optional[FileHandle] = None) -> Generator:
+        """LOOKUP: returns (fhandle, fattr)."""
+        args = LookupArgs(dir_fhandle or self.root_fhandle, name)
+        return (yield from self._call(PROC_LOOKUP, args))
+
+    def create(self, name: str, dir_fhandle: Optional[FileHandle] = None) -> Generator:
+        """CREATE: returns an :class:`OpenFile` for the new file."""
+        args = CreateArgs(dir_fhandle or self.root_fhandle, name)
+        fhandle, _fattr = yield from self._call(PROC_CREATE, args)
+        return OpenFile(fhandle, name)
+
+    def open(self, name: str, dir_fhandle: Optional[FileHandle] = None) -> Generator:
+        """LOOKUP and wrap in an :class:`OpenFile`."""
+        fhandle, fattr = yield from self.lookup(name, dir_fhandle)
+        open_file = OpenFile(fhandle, name)
+        open_file.known_size = fattr.size  # bounds read-ahead
+        return open_file
+
+    def remove(self, name: str, dir_fhandle: Optional[FileHandle] = None) -> Generator:
+        args = RemoveArgs(dir_fhandle or self.root_fhandle, name)
+        return (yield from self._call(PROC_REMOVE, args))
+
+    def getattr(self, fhandle: FileHandle) -> Generator:
+        return (yield from self._call(PROC_GETATTR, fhandle))
+
+    def setattr(self, fhandle: FileHandle, **changes) -> Generator:
+        return (yield from self._call(PROC_SETATTR, SetattrArgs(fhandle, **changes)))
+
+    def readdir(self, dir_fhandle: Optional[FileHandle] = None) -> Generator:
+        return (yield from self._call(PROC_READDIR, dir_fhandle or self.root_fhandle))
+
+    def statfs(self) -> Generator:
+        return (yield from self._call(PROC_STATFS, self.root_fhandle))
+
+    def symlink(
+        self, name: str, target: str, dir_fhandle: Optional[FileHandle] = None
+    ) -> Generator:
+        """SYMLINK: returns the new link's (fhandle, fattr)."""
+        args = SymlinkArgs(dir_fhandle or self.root_fhandle, name, target)
+        return (yield from self._call(PROC_SYMLINK, args))
+
+    def readlink(self, fhandle: FileHandle) -> Generator:
+        """READLINK: returns the link target string."""
+        return (yield from self._call(PROC_READLINK, fhandle))
+
+    def rename(
+        self,
+        src_name: str,
+        dst_name: str,
+        src_dir: Optional[FileHandle] = None,
+        dst_dir: Optional[FileHandle] = None,
+    ) -> Generator:
+        args = RenameArgs(
+            src_dir or self.root_fhandle,
+            src_name,
+            dst_dir or self.root_fhandle,
+            dst_name,
+        )
+        return (yield from self._call(PROC_RENAME, args))
+
+    def read(self, open_file: OpenFile, offset: int, count: int) -> Generator:
+        """READ, returning ``(fattr, data)``.
+
+        With ``read_ahead=True``, a detected sequential pattern hands a
+        prefetch of the following range to a free biod, so the next read is
+        served from the client cache while the wire stays busy (§4.1).
+        """
+        sequential = offset == open_file.read_cursor
+        open_file.read_cursor = offset + count
+        if self.read_ahead and sequential:
+            # Pipeline as deep as the idle biods allow *before* blocking on
+            # the current range, so the wire and disk stay busy while the
+            # application consumes this block.
+            for step in range(1, self.nbiods + 1):
+                self._maybe_prefetch(open_file, offset + step * count, count)
+        prefetch = open_file.prefetched.pop(offset, None)
+        if prefetch is not None:
+            fattr_and_data = yield prefetch
+            self.readahead_hits.add(1)
+        else:
+            args = ReadArgs(open_file.fhandle, offset, count)
+            fattr_and_data = yield from self._call(PROC_READ, args)
+        fattr, _data = fattr_and_data
+        open_file.known_size = fattr.size
+        return fattr_and_data
+
+    def _maybe_prefetch(self, open_file: OpenFile, offset: int, count: int) -> None:
+        """Hand a read-ahead of [offset, offset+count) to an idle biod."""
+        if self._busy_biods >= self.nbiods:
+            return
+        if open_file.known_size is not None and offset >= open_file.known_size:
+            return  # nothing past EOF
+        if offset in open_file.prefetched:
+            return
+        self._busy_biods += 1
+        done = self.env.event()
+        open_file.prefetched[offset] = done
+        self.env.process(
+            self._biod_read(open_file, offset, count, done), name="biod-ra"
+        )
+
+    def _biod_read(self, open_file: OpenFile, offset: int, count: int, done: Event):
+        try:
+            args = ReadArgs(open_file.fhandle, offset, count)
+            result = yield from self._call(PROC_READ, args)
+            done.succeed(result)
+        except NfsError as exc:
+            done.fail(exc)
+            done.defused = True  # reader may never come back for it
+        finally:
+            self._busy_biods -= 1
+
+    # -- the write path -----------------------------------------------------------
+
+    def write_stream(self, open_file: OpenFile, data: bytes) -> Generator:
+        """Application-level sequential write: fills 8K client cache blocks
+        and pushes each full block to the wire via write-behind."""
+        view = memoryview(bytes(data))
+        while view.nbytes > 0:
+            if not open_file.pending:
+                open_file.pending_offset = open_file.cursor
+            room = NFS_MAX_DATA - len(open_file.pending)
+            take = min(room, view.nbytes)
+            open_file.pending.extend(view[:take])
+            open_file.cursor += take
+            view = view[take:]
+            if len(open_file.pending) == NFS_MAX_DATA:
+                yield from self._push_block(open_file)
+
+    def write_at(self, open_file: OpenFile, offset: int, data: bytes) -> Generator:
+        """Random-access write: goes to the wire immediately (no coalescing),
+        in at-most-8K pieces."""
+        view = memoryview(bytes(data))
+        pos = offset
+        while view.nbytes > 0:
+            take = min(NFS_MAX_DATA, view.nbytes)
+            yield from self._write_behind(open_file, pos, bytes(view[:take]))
+            pos += take
+            view = view[take:]
+
+    def close(self, open_file: OpenFile) -> Generator:
+        """sync-on-close: flush the partial block, await all outstanding
+        writes, and raise the first captured asynchronous error.
+
+        An NFSv3 client additionally COMMITs its unstable writes here and,
+        if the server's write verifier changed (it crashed and rebooted,
+        losing cached data), resends everything and commits again.
+        """
+        if open_file.pending:
+            yield from self._push_block(open_file)
+        if open_file.outstanding:
+            yield AllOf(self.env, list(open_file.outstanding))
+            open_file.outstanding.clear()
+        if self.nfs_version == 3 and open_file.uncommitted:
+            yield from self._commit_uncommitted(open_file)
+        if open_file.error is not None:
+            error, open_file.error = open_file.error, None
+            raise NfsError(error)
+
+    def _commit_uncommitted(self, open_file: OpenFile) -> Generator:
+        from repro.nfs.protocol import PROC_COMMIT, CommitArgs
+
+        for _attempt in range(3):
+            lo = min(offset for offset, _data in open_file.uncommitted)
+            hi = max(offset + len(data) for offset, data in open_file.uncommitted)
+            commit_verf = yield from self._call(
+                PROC_COMMIT, CommitArgs(open_file.fhandle, lo, hi - lo)
+            )
+            if not open_file.needs_replay and (
+                open_file.verifier is None or commit_verf == open_file.verifier
+            ):
+                open_file.uncommitted.clear()
+                open_file.verifier = commit_verf
+                return
+            # Verifier mismatch: the server rebooted; our unstable data may
+            # be gone.  Resend it all and try committing again.
+            open_file.needs_replay = False
+            open_file.verifier = None
+            for offset, data in list(open_file.uncommitted):
+                yield from self._do_write(open_file, offset, data, record=False)
+        raise NfsError("EIO")
+
+    def _push_block(self, open_file: OpenFile) -> Generator:
+        data = bytes(open_file.pending)
+        offset = open_file.pending_offset
+        open_file.pending = bytearray()
+        yield from self._write_behind(open_file, offset, data)
+
+    def _write_behind(self, open_file: OpenFile, offset: int, data: bytes) -> Generator:
+        """Hand a WRITE to a biod, or perform it inline if none is free."""
+        yield self.env.timeout(self.write_cpu)
+        if self._busy_biods < self.nbiods:
+            self._busy_biods += 1
+            self.biod_handoffs.add(1)
+            done = self.env.event()
+            open_file.outstanding.append(done)
+            self.env.process(
+                self._biod_write(open_file, offset, data, done), name="biod"
+            )
+        else:
+            # No biod free: the application blocks until *this* request has
+            # received a response (§4.1).
+            self.blocked_writes.add(1)
+            yield from self._do_write(open_file, offset, data)
+
+    def _biod_write(self, open_file: OpenFile, offset: int, data: bytes, done: Event):
+        try:
+            yield from self._do_write(open_file, offset, data)
+        except NfsError as exc:
+            if open_file.error is None:
+                open_file.error = exc.code
+        finally:
+            self._busy_biods -= 1
+            done.succeed()
+
+    def _do_write(
+        self, open_file: OpenFile, offset: int, data: bytes, record: bool = True
+    ) -> Generator:
+        started = self.env.now
+        stable = self.nfs_version == 2
+        args = WriteArgs(open_file.fhandle, offset, data, stable=stable)
+        reply = yield from self.rpc.call(
+            PROC_WRITE,
+            args,
+            size=call_size(PROC_WRITE, args),
+            reply_size=reply_size(PROC_WRITE, args),
+            weight=WEIGHT_OF[PROC_WRITE],
+        )
+        if not reply.ok:
+            raise NfsError(reply.status)
+        self.bytes_written.add(len(data))
+        self.write_latency.observe(self.env.now - started)
+        if stable:
+            return reply.result  # Fattr
+        fattr, verifier = reply.result
+        if record:
+            open_file.uncommitted.append((offset, data))
+        if open_file.verifier is None:
+            open_file.verifier = verifier
+        elif verifier != open_file.verifier:
+            open_file.needs_replay = True
+        return fattr
+
+    @property
+    def busy_biods(self) -> int:
+        return self._busy_biods

@@ -1,0 +1,197 @@
+"""NFS version 2 protocol definitions: procedures, attributes, sizes.
+
+Only what the simulation needs: procedure names, argument records, wire
+sizes, and the weight classes the client backoff algorithm keys on
+(write = heavyweight, read = middleweight, lookup = lightweight, §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fs.inode import Inode
+from repro.fs.vfs import FileHandle
+from repro.rpc.messages import CLASS_HEAVY, CLASS_LIGHT, CLASS_MEDIUM, RPC_HEADER_BYTES
+
+__all__ = [
+    "NFS_MAX_DATA",
+    "PROC_COMMIT",
+    "PROC_MOUNT",
+    "PROC_UMOUNT",
+    "PROC_READLINK",
+    "PROC_SYMLINK",
+    "PROC_RENAME",
+    "PROC_GETATTR",
+    "PROC_SETATTR",
+    "PROC_LOOKUP",
+    "PROC_READ",
+    "PROC_WRITE",
+    "PROC_CREATE",
+    "PROC_REMOVE",
+    "PROC_READDIR",
+    "PROC_STATFS",
+    "WEIGHT_OF",
+    "Fattr",
+    "WriteArgs",
+    "CommitArgs",
+    "SymlinkArgs",
+    "RenameArgs",
+    "ReadArgs",
+    "LookupArgs",
+    "CreateArgs",
+    "RemoveArgs",
+    "SetattrArgs",
+    "call_size",
+    "reply_size",
+    "NfsError",
+]
+
+#: Effective maximum NFS/UDP transfer size (§4.1): 8K.
+NFS_MAX_DATA = 8192
+
+PROC_GETATTR = "getattr"
+PROC_SETATTR = "setattr"
+PROC_LOOKUP = "lookup"
+PROC_READ = "read"
+PROC_WRITE = "write"
+PROC_CREATE = "create"
+PROC_REMOVE = "remove"
+PROC_READDIR = "readdir"
+PROC_STATFS = "statfs"
+PROC_READLINK = "readlink"
+PROC_SYMLINK = "symlink"
+PROC_RENAME = "rename"
+#: NFS version 3 (§8 future work): commit previously unstable writes.
+PROC_COMMIT = "commit"
+#: The separate MOUNT protocol (mountd): path -> root file handle.
+PROC_MOUNT = "mount"
+PROC_UMOUNT = "umount"
+
+#: Client backoff class per procedure (§4.1).
+WEIGHT_OF = {
+    PROC_WRITE: CLASS_HEAVY,
+    PROC_COMMIT: CLASS_HEAVY,
+    PROC_READ: CLASS_MEDIUM,
+    PROC_READDIR: CLASS_MEDIUM,
+    PROC_GETATTR: CLASS_LIGHT,
+    PROC_SETATTR: CLASS_LIGHT,
+    PROC_LOOKUP: CLASS_LIGHT,
+    PROC_CREATE: CLASS_LIGHT,
+    PROC_REMOVE: CLASS_LIGHT,
+    PROC_STATFS: CLASS_LIGHT,
+    PROC_READLINK: CLASS_LIGHT,
+    PROC_SYMLINK: CLASS_LIGHT,
+    PROC_RENAME: CLASS_LIGHT,
+    PROC_MOUNT: CLASS_LIGHT,
+    PROC_UMOUNT: CLASS_LIGHT,
+}
+
+
+class NfsError(Exception):
+    """An NFS-level error status returned to the client."""
+
+    def __init__(self, code: str) -> None:
+        super().__init__(code)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class Fattr:
+    """File attributes returned in replies (the paper's gathered replies all
+    carry the *same* file modify time)."""
+
+    ino: int
+    ftype: str
+    size: int
+    mtime: float
+
+    @classmethod
+    def from_inode(cls, inode: Inode) -> "Fattr":
+        return cls(ino=inode.ino, ftype=inode.ftype, size=inode.size, mtime=inode.mtime)
+
+
+@dataclass
+class WriteArgs:
+    fhandle: FileHandle
+    offset: int
+    data: bytes
+    #: NFSv2 semantics: True (stable before reply).  An NFSv3 client may
+    #: send False; the server then replies from volatile cache and the
+    #: client must COMMIT (and compare write verifiers) before discarding
+    #: its copy of the data.
+    stable: bool = True
+
+
+@dataclass
+class SymlinkArgs:
+    dir_fhandle: FileHandle
+    name: str
+    target: str
+
+
+@dataclass
+class RenameArgs:
+    src_dir_fhandle: FileHandle
+    src_name: str
+    dst_dir_fhandle: FileHandle
+    dst_name: str
+
+
+@dataclass
+class CommitArgs:
+    fhandle: FileHandle
+    offset: int
+    count: int
+
+
+@dataclass
+class ReadArgs:
+    fhandle: FileHandle
+    offset: int
+    count: int
+
+
+@dataclass
+class LookupArgs:
+    dir_fhandle: FileHandle
+    name: str
+
+
+@dataclass
+class CreateArgs:
+    dir_fhandle: FileHandle
+    name: str
+
+
+@dataclass
+class RemoveArgs:
+    dir_fhandle: FileHandle
+    name: str
+
+
+@dataclass
+class SetattrArgs:
+    fhandle: FileHandle
+    size: Optional[int] = None
+    mtime: Optional[float] = None
+
+
+def call_size(proc: str, args) -> int:
+    """Wire size of a call datagram."""
+    if proc == PROC_WRITE:
+        return RPC_HEADER_BYTES + len(args.data)
+    if proc in (PROC_LOOKUP, PROC_CREATE, PROC_REMOVE, PROC_SYMLINK):
+        return RPC_HEADER_BYTES + len(args.name)
+    if proc == PROC_RENAME:
+        return RPC_HEADER_BYTES + len(args.src_name) + len(args.dst_name)
+    return RPC_HEADER_BYTES
+
+
+def reply_size(proc: str, args) -> int:
+    """Expected wire size of the matching reply datagram."""
+    if proc == PROC_READ:
+        return RPC_HEADER_BYTES + args.count
+    if proc == PROC_READDIR:
+        return RPC_HEADER_BYTES + 2048
+    return RPC_HEADER_BYTES

@@ -1,0 +1,5 @@
+"""NVRAM substrate: the Prestoserve-style write accelerator."""
+
+from repro.nvram.presto import PrestoCache
+
+__all__ = ["PrestoCache"]

@@ -1,0 +1,39 @@
+"""Sun-RPC-like layer: messages, adaptive client, svc server, dup cache."""
+
+from repro.rpc.client import INITIAL_TIMEOUT, RpcClient, RpcTimeoutPolicy
+from repro.rpc.dupcache import NONIDEMPOTENT_PROCS, DuplicateRequestCache, DupEntry
+from repro.rpc.messages import (
+    CLASS_HEAVY,
+    CLASS_LIGHT,
+    CLASS_MEDIUM,
+    RPC_HEADER_BYTES,
+    RpcCall,
+    RpcReply,
+)
+from repro.rpc.server import (
+    REPLY_DONE,
+    REPLY_PENDING,
+    HandleCache,
+    SvcServer,
+    TransportHandle,
+)
+
+__all__ = [
+    "RpcCall",
+    "RpcReply",
+    "RPC_HEADER_BYTES",
+    "CLASS_LIGHT",
+    "CLASS_MEDIUM",
+    "CLASS_HEAVY",
+    "RpcClient",
+    "RpcTimeoutPolicy",
+    "INITIAL_TIMEOUT",
+    "DuplicateRequestCache",
+    "DupEntry",
+    "NONIDEMPOTENT_PROCS",
+    "SvcServer",
+    "TransportHandle",
+    "HandleCache",
+    "REPLY_DONE",
+    "REPLY_PENDING",
+]

@@ -1,0 +1,129 @@
+"""Duplicate request cache, per Juszczak's 1989 paper [JUSZ89].
+
+A retransmitted non-idempotent request (write, create, remove, setattr)
+must not be re-executed: re-running a CREATE after the original succeeded
+would return EEXIST to a client whose create actually worked.  The cache
+remembers recent requests by (client, xid):
+
+* ``IN_PROGRESS`` — the original is still being served: drop the duplicate;
+* ``DONE`` — recently completed: resend the saved reply without re-executing.
+
+§6.9 warns that the *gathering* server must not be hasty discarding
+duplicates: a write parked on the active write queue is IN_PROGRESS, and
+dropping its retransmission is correct only because the queued original
+still has a metadata writer responsible for its reply.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.rpc.messages import RpcCall, RpcReply
+from repro.sim import Environment
+
+__all__ = ["DuplicateRequestCache", "DupEntry", "NONIDEMPOTENT_PROCS"]
+
+#: Procedures whose effects must not be repeated.
+NONIDEMPOTENT_PROCS = frozenset(
+    {"write", "create", "remove", "setattr", "rename", "symlink"}
+)
+
+IN_PROGRESS = "in-progress"
+DONE = "done"
+
+
+@dataclass
+class DupEntry:
+    state: str
+    proc: str
+    reply: Optional[RpcReply]
+    when: float
+
+
+class DuplicateRequestCache:
+    """Bounded LRU cache of recent requests."""
+
+    def __init__(
+        self,
+        env: Environment,
+        max_entries: int = 512,
+        reply_window: float = 6.0,
+        enabled: bool = True,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.env = env
+        self.max_entries = max_entries
+        self.reply_window = reply_window
+        #: Disabled = the pre-[JUSZ89] server: every retransmission is
+        #: re-executed, with all the non-idempotency hazards that implies.
+        self.enabled = enabled
+        self._entries: "OrderedDict[Tuple[str, int], DupEntry]" = OrderedDict()
+        self.hits_in_progress = 0
+        self.hits_done = 0
+
+    @staticmethod
+    def _key(call: RpcCall) -> Tuple[str, int]:
+        return (call.client, call.xid)
+
+    def check(self, call: RpcCall) -> Tuple[str, Optional[RpcReply]]:
+        """Classify an arriving request.
+
+        Returns one of:
+          ("new", None)        — execute it (now registered IN_PROGRESS);
+          ("drop", None)       — duplicate of an in-progress request;
+          ("replay", reply)    — duplicate of a recent non-idempotent
+                                 request: resend ``reply`` verbatim;
+          ("execute", None)    — duplicate but stale/idempotent: re-execute.
+        """
+        if not self.enabled:
+            return ("new", None)
+        key = self._key(call)
+        entry = self._entries.get(key)
+        if entry is None:
+            self._entries[key] = DupEntry(IN_PROGRESS, call.proc, None, self.env.now)
+            self._trim()
+            return ("new", None)
+        if entry.state == IN_PROGRESS:
+            self.hits_in_progress += 1
+            return ("drop", None)
+        # DONE:
+        recent = self.env.now - entry.when <= self.reply_window
+        if recent and call.proc in NONIDEMPOTENT_PROCS and entry.reply is not None:
+            self.hits_done += 1
+            return ("replay", entry.reply)
+        # Stale or idempotent: treat as fresh work.
+        entry.state = IN_PROGRESS
+        entry.when = self.env.now
+        entry.reply = None
+        self._entries.move_to_end(key)
+        return ("execute", None)
+
+    def record_done(self, call: RpcCall, reply: RpcReply) -> None:
+        """Mark a request complete, saving its reply for replay."""
+        if not self.enabled:
+            return
+        key = self._key(call)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = DupEntry(DONE, call.proc, reply, self.env.now)
+            self._entries[key] = entry
+            self._trim()
+        else:
+            entry.state = DONE
+            entry.reply = reply
+            entry.when = self.env.now
+            self._entries.move_to_end(key)
+
+    def forget(self, call: RpcCall) -> None:
+        """Drop an entry (the request errored before producing a reply)."""
+        self._entries.pop(self._key(call), None)
+
+    def _trim(self) -> None:
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)

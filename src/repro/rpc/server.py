@@ -1,0 +1,151 @@
+"""Server-side RPC: transport handles, the free-handle cache, svc dispatch.
+
+In the reference port, the information needed to send a response lives in a
+*transport handle* tied to the nfsd that started the request.  The paper's
+architectural change (§6.1): an nfsd may return a REPLY_PENDING code, detach
+its handle (parking it with the write descriptor on the active write queue),
+take a fresh handle from a cache of free handles, and go look for other
+work; some other nfsd later sends the parked reply.  That is what lets
+"optimal write gathering take place with as few as one nfsd".
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.net.packet import Datagram
+from repro.net.udp import UdpEndpoint
+from repro.rpc.dupcache import DuplicateRequestCache
+from repro.rpc.messages import RpcCall, RpcReply
+from repro.sim import Counter, Environment
+
+__all__ = ["TransportHandle", "HandleCache", "SvcServer", "REPLY_DONE", "REPLY_PENDING"]
+
+#: Dispatch return codes (§6.1).
+REPLY_DONE = "reply-done"
+REPLY_PENDING = "reply-pending"
+
+
+class TransportHandle:
+    """Stores what is needed to send one request's response."""
+
+    __slots__ = ("call", "datagram", "replied", "acquired_at")
+
+    def __init__(self) -> None:
+        self.call: Optional[RpcCall] = None
+        self.datagram: Optional[Datagram] = None
+        self.replied = False
+        self.acquired_at = 0.0
+
+    def load(self, call: RpcCall, datagram: Datagram, now: float) -> None:
+        self.call = call
+        self.datagram = datagram
+        self.replied = False
+        self.acquired_at = now
+
+    def clear(self) -> None:
+        self.call = None
+        self.datagram = None
+        self.replied = False
+
+
+class HandleCache:
+    """The cache of free transport handles added for delayed replies."""
+
+    def __init__(self, initial: int = 8) -> None:
+        self._free: List[TransportHandle] = [TransportHandle() for _ in range(initial)]
+        self.allocated = 0
+        self.peak_in_use = 0
+        self._in_use = 0
+
+    def acquire(self) -> TransportHandle:
+        if self._free:
+            handle = self._free.pop()
+        else:
+            handle = TransportHandle()
+            self.allocated += 1
+        self._in_use += 1
+        self.peak_in_use = max(self.peak_in_use, self._in_use)
+        return handle
+
+    def release(self, handle: TransportHandle) -> None:
+        handle.clear()
+        self._in_use -= 1
+        self._free.append(handle)
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+
+class SvcServer:
+    """The kernel-RPC service layer an nfsd calls into.
+
+    The nfsd loop is::
+
+        handle = yield from svc.next_request()   # may replay/drop duplicates
+        code = yield from dispatcher(handle)     # NFS layer action routine
+        # REPLY_DONE: the dispatcher already called svc.send_reply(handle,...)
+        # REPLY_PENDING: the handle was parked; svc hands the nfsd a new one
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        endpoint: UdpEndpoint,
+        dup_cache: Optional[DuplicateRequestCache] = None,
+    ) -> None:
+        self.env = env
+        self.endpoint = endpoint
+        self.handles = HandleCache()
+        self.dup_cache = dup_cache or DuplicateRequestCache(env)
+        self.requests_received = Counter(env, "svc.requests")
+        self.replies_sent = Counter(env, "svc.replies")
+        self.duplicates_dropped = Counter(env, "svc.dup_dropped")
+        self.duplicates_replayed = Counter(env, "svc.dup_replayed")
+
+    def next_request(self):
+        """Wait for the next *fresh* request; duplicates are handled here.
+
+        Generator returning a loaded :class:`TransportHandle`.
+        """
+        while True:
+            datagram = yield self.endpoint.recv()
+            call = datagram.payload
+            if not isinstance(call, RpcCall):
+                continue
+            self.requests_received.add(1)
+            disposition, cached_reply = self.dup_cache.check(call)
+            if disposition == "drop":
+                self.duplicates_dropped.add(1)
+                continue
+            if disposition == "replay":
+                self.duplicates_replayed.add(1)
+                self._transmit(call, cached_reply)
+                continue
+            handle = self.handles.acquire()
+            handle.load(call, datagram, self.env.now)
+            return handle
+
+    def send_reply(self, handle: TransportHandle, status: str, result: Any, size: int = 160) -> None:
+        """Send the response for ``handle`` and return it to the free cache."""
+        if handle.call is None:
+            raise ValueError("send_reply on an empty transport handle")
+        if handle.replied:
+            raise ValueError(f"duplicate reply for xid {handle.call.xid}")
+        reply = RpcReply(xid=handle.call.xid, status=status, result=result, size=size)
+        self.dup_cache.record_done(handle.call, reply)
+        self._transmit(handle.call, reply)
+        handle.replied = True
+        self.replies_sent.add(1)
+        self.handles.release(handle)
+
+    def abandon(self, handle: TransportHandle) -> None:
+        """Discard a request without replying (e.g. unrecoverable decode
+        error); the client will retransmit."""
+        if handle.call is not None:
+            self.dup_cache.forget(handle.call)
+        self.handles.release(handle)
+
+    def _transmit(self, call: RpcCall, reply: RpcReply) -> None:
+        self.endpoint.send(call.client, reply, reply.size)

@@ -1,0 +1,22 @@
+"""NFS server: nfsd pool, dispatch, CPU model, standard write path."""
+
+from repro.server.base import NfsServer, StableStorageViolation
+from repro.server.config import (
+    WRITE_PATH_GATHER,
+    WRITE_PATH_SIVA,
+    WRITE_PATH_STANDARD,
+    ServerConfig,
+)
+from repro.server.cpu import Cpu
+from repro.server.standard import StandardWritePath
+
+__all__ = [
+    "NfsServer",
+    "StableStorageViolation",
+    "ServerConfig",
+    "WRITE_PATH_STANDARD",
+    "WRITE_PATH_GATHER",
+    "WRITE_PATH_SIVA",
+    "Cpu",
+    "StandardWritePath",
+]

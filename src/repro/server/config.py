@@ -1,0 +1,73 @@
+"""Server configuration: daemon counts, buffers, CPU costs, write path.
+
+CPU cost constants are calibrated so the simulated DEC 3400/3800-class
+server lands in the paper's measured utilization bands (see DESIGN.md and
+the calibration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.policy import GatherPolicy
+from repro.fs.ufs import CostModel
+
+__all__ = ["ServerConfig", "WRITE_PATH_STANDARD", "WRITE_PATH_GATHER", "WRITE_PATH_SIVA"]
+
+WRITE_PATH_STANDARD = "standard"
+WRITE_PATH_GATHER = "gather"
+WRITE_PATH_SIVA = "siva"
+
+
+@dataclass
+class ServerConfig:
+    """Everything an :class:`~repro.server.base.NfsServer` needs to know."""
+
+    #: Number of nfsd daemons (the paper's experiments used 8; the LADDIS
+    #: runs used 32).
+    nfsds: int = 8
+    #: CPU cores (1 everywhere in the paper).
+    cpu_cores: int = 1
+    #: NFS socket buffer limit ("DEC OSF/1 currently uses a maximum of
+    #: .25M for socket buffering").
+    socket_buffer_bytes: int = 256 * 1024
+    #: Which rfs_write implementation to run.
+    write_path: str = WRITE_PATH_STANDARD
+    #: Gathering policy (used when write_path == "gather").
+    gather_policy: GatherPolicy = field(default_factory=GatherPolicy)
+
+    # CPU costs (seconds) for the RPC/NFS layers; filesystem costs are in
+    # ``fs_costs``.  Per-frame receive costs come from the NetSpec.
+    rpc_dispatch_cpu: float = 0.00025
+    reply_cpu: float = 0.00015
+    #: Scales *all* CPU costs (RPC, frames, filesystem): 1.0 is the DEC
+    #: 3400/3500 class used in Tables 1-2; the DEC 3800 LADDIS server of
+    #: Figures 2-3 is roughly twice as fast (0.5).
+    cpu_scale: float = 1.0
+
+    # Filesystem geometry.
+    fs_bytes: int = 900 * 1024 * 1024
+    block_size: int = 8192
+    cluster_size: int = 65536
+    cache_blocks: int = 4096
+    fs_costs: CostModel = field(default_factory=CostModel)
+
+    #: When True, every WRITE reply is checked against the durable image
+    #: (stable-storage-before-reply); violations are recorded on the server.
+    verify_stable: bool = False
+    #: [JUSZ89] duplicate request cache.  Disable to model a pre-1989
+    #: server that re-executes every retransmission (ablation only).
+    dup_cache: bool = True
+    #: Paths the mountd side of the server answers MOUNT for.
+    exports: tuple = ("/export",)
+
+    def __post_init__(self) -> None:
+        if self.nfsds < 1:
+            raise ValueError(f"need at least one nfsd, got {self.nfsds}")
+        if self.write_path not in (
+            WRITE_PATH_STANDARD,
+            WRITE_PATH_GATHER,
+            WRITE_PATH_SIVA,
+        ):
+            raise ValueError(f"unknown write path {self.write_path!r}")

@@ -1,0 +1,55 @@
+"""The standard (reference port) write path — the paper's baseline.
+
+Each WRITE is fully committed before its reply: data block(s), then — if
+the write grew the file or changed on-disk structure — the indirect and
+inode blocks, all synchronously, under the vnode lock (§4.4).  A
+modify-time-only inode change is updated asynchronously (the reference
+port's special case).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.fs.ufs import FsError
+from repro.fs.vfs import IO_SYNC
+from repro.nfs.protocol import Fattr
+from repro.rpc.server import REPLY_DONE, TransportHandle
+from repro.sim import Counter
+
+__all__ = ["StandardWritePath"]
+
+
+class StandardWritePath:
+    """rfs_write as shipped in the reference port."""
+
+    def __init__(self, server) -> None:
+        self.server = server
+        self.env = server.env
+        self.writes = Counter(server.env, "standard.writes")
+
+    def handle(self, nfsd_id: int, handle: TransportHandle) -> Generator:
+        """Process one WRITE synchronously; always returns REPLY_DONE."""
+        args = handle.call.args
+        try:
+            vnode = self.server.vnodes.by_fhandle(args.fhandle)
+        except FsError as exc:
+            yield from self.server.reply(handle, exc.code, None)
+            return REPLY_DONE
+        self.writes.add(1)
+        with vnode.lock.request() as grant:
+            yield grant
+            try:
+                yield from vnode.vop_write(args.offset, args.data, IO_SYNC)
+            except FsError as exc:
+                yield from self.server.reply(handle, exc.code, None)
+                return REPLY_DONE
+            fattr = Fattr.from_inode(vnode.inode)
+            # Check inside the lock: no later writer can supersede the
+            # just-committed bytes before we inspect the durable image.
+            # Requests from a crashed incarnation are never replied, so
+            # their (now moot) commit state is exempt.
+            if handle.acquired_at > getattr(self.server, "last_crash_time", -1.0):
+                self.server.check_stable(vnode, args.offset, args.data)
+        yield from self.server.reply(handle, "ok", fattr)
+        return REPLY_DONE

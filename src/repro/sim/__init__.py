@@ -1,0 +1,40 @@
+"""Deterministic discrete-event simulation kernel used by all substrates."""
+
+from repro.sim.core import (
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Process,
+    Timeout,
+)
+from repro.sim.errors import Interrupt, SimError, StopSimulation
+from repro.sim.monitor import Counter, Tally, TimeWeighted, UtilizationMeter
+from repro.sim.resources import Container, PriorityResource, Request, Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "PRIORITY_NORMAL",
+    "PRIORITY_URGENT",
+    "Interrupt",
+    "SimError",
+    "StopSimulation",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "Store",
+    "Container",
+    "Tally",
+    "Counter",
+    "TimeWeighted",
+    "UtilizationMeter",
+]

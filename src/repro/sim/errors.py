@@ -1,0 +1,43 @@
+"""Exception types used by the simulation kernel.
+
+The kernel deliberately keeps its error surface small: processes see
+:class:`Interrupt` when another process interrupts them, and misuse of the
+kernel raises :class:`SimError`.
+"""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Raised when the simulation kernel is used incorrectly.
+
+    Examples: scheduling into the past, triggering an event twice, or
+    running an environment whose event queue has been corrupted.
+    """
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupting party may attach an arbitrary ``cause`` object which
+    the interrupted process can inspect to decide how to react.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The object passed to :meth:`Process.interrupt`, if any."""
+        return self.args[0]
+
+
+class StopSimulation(Exception):
+    """Internal signal used by ``Environment.run(until=event)``."""
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+
+    @property
+    def value(self) -> object:
+        return self.args[0]

@@ -1,0 +1,295 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three families, mirroring what the NFS stack needs:
+
+* :class:`Resource` / :class:`PriorityResource` — capacity-limited resources
+  (a CPU, a disk arm, a vnode lock).  ``request()`` returns an event that
+  fires when a slot is granted; release with ``release()`` or use the request
+  as a context manager inside a process.
+* :class:`Store` — a FIFO queue of Python objects (a socket buffer, a work
+  queue).  Optionally bounded; ``put`` on a full bounded store can either
+  wait or drop (the caller chooses via ``try_put``).
+* :class:`Container` — a continuous level (bytes of NVRAM in use).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.sim.core import PRIORITY_URGENT, Environment, Event
+from repro.sim.errors import SimError
+
+__all__ = ["Resource", "PriorityResource", "Request", "Store", "Container"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager from within a process::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self._granted = False
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the slot if granted, or withdraw from the wait queue."""
+        self.resource.release(self)
+
+
+class Resource:
+    """A capacity-limited resource with FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {len(self.users)}/{self.capacity} used, "
+            f"{len(self.queue)} queued>"
+        )
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently granted."""
+        return len(self.users)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot.  The returned event fires when the slot is granted."""
+        request = Request(self, priority)
+        self._enqueue(request)
+        self._grant()
+        return request
+
+    def release(self, request: Request) -> None:
+        """Return a granted slot (or withdraw an ungranted request)."""
+        if request._granted:
+            self.users.remove(request)
+            request._granted = False
+            self._grant()
+        else:
+            self._withdraw(request)
+
+    # -- overridable queueing discipline -----------------------------------
+
+    def _enqueue(self, request: Request) -> None:
+        self.queue.append(request)
+
+    def _pop_next(self) -> Request:
+        return self.queue.popleft()
+
+    def _withdraw(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            request = self._pop_next()
+            request._granted = True
+            self.users.append(request)
+            request.succeed(request)
+
+
+class PriorityResource(Resource):
+    """A resource granting by (priority, arrival order); lower wins."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    def _enqueue(self, request: Request) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (request.priority, self._seq, request))
+
+    def _pop_next(self) -> Request:
+        return heapq.heappop(self._heap)[2]
+
+    def _withdraw(self, request: Request) -> None:
+        self._heap = [entry for entry in self._heap if entry[2] is not request]
+        heapq.heapify(self._heap)
+
+    @property
+    def queue(self):  # type: ignore[override]
+        return [entry[2] for entry in sorted(self._heap)]
+
+    @queue.setter
+    def queue(self, value) -> None:
+        # Base-class __init__ assigns an empty deque; ignore it.
+        pass
+
+
+class Store:
+    """A FIFO object queue with blocking ``get`` and optional capacity.
+
+    ``items`` is inspectable (the mbuf hunter of §6.5 scans the socket
+    buffer's pending datagrams), and items can be *stolen* out of the middle
+    of the queue with :meth:`steal`.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimError(f"store capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Add ``item``; the returned event fires once it has been accepted."""
+        event = Event(self.env)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+            self._dispatch()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put.  Returns False (drops) if the store is full."""
+        if len(self.items) >= self.capacity:
+            return False
+        self.items.append(item)
+        self._dispatch()
+        return True
+
+    def get(self) -> Event:
+        """Remove the oldest item; the returned event fires with the item."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get.  Returns None if nothing is immediately ready."""
+        if self.items and not self._getters:
+            item = self.items.popleft()
+            self._admit_putters()
+            return item
+        return None
+
+    def steal(self, predicate: Callable[[Any], bool]) -> Optional[Any]:
+        """Remove and return the first queued item matching ``predicate``.
+
+        Returns None if no queued item matches.  This models the paper's
+        "mbuf hunter" pulling a specific request out of the socket buffer.
+        """
+        for index, item in enumerate(self.items):
+            if predicate(item):
+                del self.items[index]
+                self._admit_putters()
+                return item
+        return None
+
+    def _admit_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            event, item = self._putters.popleft()
+            self.items.append(item)
+            event.succeed()
+
+    def _dispatch(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            getter.succeed(self.items.popleft())
+        self._admit_putters()
+
+
+class Container:
+    """A continuous quantity with blocking ``get`` (and non-blocking put).
+
+    Used for byte-counted capacities such as the NVRAM cache fill level.
+    """
+
+    def __init__(
+        self, env: Environment, capacity: float = float("inf"), init: float = 0.0
+    ) -> None:
+        if capacity <= 0:
+            raise SimError(f"container capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise SimError(f"init level {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: Deque[tuple] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; fires once it fits under ``capacity``."""
+        if amount <= 0:
+            raise SimError(f"put amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._putters.append((event, amount))
+        self._dispatch()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; fires once that much is available."""
+        if amount <= 0:
+            raise SimError(f"get amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._getters.append((event, amount))
+        self._dispatch()
+        return event
+
+    def try_get(self, amount: float) -> bool:
+        """Immediately remove ``amount`` if available; else return False."""
+        if amount <= 0:
+            raise SimError(f"get amount must be positive, got {amount}")
+        if self._getters or self._level < amount:
+            return False
+        self._level -= amount
+        self._dispatch()
+        return True
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed()
+                    progressed = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed()
+                    progressed = True

@@ -1,0 +1,30 @@
+"""Workloads: sequential writer, dumb PC, random access, LADDIS mix."""
+
+from repro.workload.dumbpc import (
+    DUMB_PC_THINK_TIME,
+    FAST_CLIENT_THINK_TIME,
+    make_dumb_pc,
+)
+from repro.workload.laddis import (
+    SFS_LATENCY_BOUND_MS,
+    SFS_MIX,
+    LaddisGenerator,
+    LaddisResult,
+)
+from repro.workload.random_access import write_random
+from repro.workload.sequential import patterned_chunk, write_file
+from repro.workload.timesharing import run_timesharing
+
+__all__ = [
+    "write_file",
+    "patterned_chunk",
+    "write_random",
+    "run_timesharing",
+    "make_dumb_pc",
+    "DUMB_PC_THINK_TIME",
+    "FAST_CLIENT_THINK_TIME",
+    "LaddisGenerator",
+    "LaddisResult",
+    "SFS_MIX",
+    "SFS_LATENCY_BOUND_MS",
+]

@@ -1,0 +1,56 @@
+"""A multiprocessing (timesharing) client host (§4.1, §6.7).
+
+"A client system can have multiple outstanding read and/or write requests.
+A client process blocks whenever a read or write request cannot be
+satisfied locally ...  When it blocks, another process can run; that
+process may also generate a read or write request."
+
+N application processes on *one* client host write different files while
+sharing the host's biod pool — the case §6.7 cites for FIFO replies
+("free up biods on the client for other work (by other processes)
+sooner").  Returns per-process elapsed times so fairness is measurable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nfs.client import NfsClient
+from repro.sim import Environment
+from repro.workload.sequential import write_file
+
+__all__ = ["run_timesharing"]
+
+
+def run_timesharing(
+    env: Environment,
+    client: NfsClient,
+    processes: int,
+    bytes_per_process: int,
+    think_time: float = 0.0005,
+):
+    """Run ``processes`` concurrent writers on one client.
+
+    Generator (drive with ``env.process``); returns the list of per-process
+    elapsed times.  Aggregate bandwidth is
+    ``processes * bytes_per_process / max(elapsed)``.
+    """
+    if processes < 1:
+        raise ValueError(f"need at least one process, got {processes}")
+    procs = [
+        env.process(
+            write_file(
+                env,
+                client,
+                f"ts.{index:02d}",
+                bytes_per_process,
+                think_time=think_time,
+            ),
+            name=f"ts-writer-{index}",
+        )
+        for index in range(processes)
+    ]
+    elapsed: List[float] = []
+    for proc in procs:
+        elapsed.append((yield proc))
+    return elapsed

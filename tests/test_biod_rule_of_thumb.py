@@ -1,0 +1,66 @@
+"""§9's operational advice, measured.
+
+"The addition of more biods on the client may increase throughput if the
+carrying capacity of the network/server can support it (the server socket
+buffer, e.g., is a limit ...).  As a rule of thumb, I don't recommend more
+than 7 biods for general purpose/heavily used networks."
+"""
+
+import pytest
+
+from repro.experiments import Testbed, TestbedConfig
+from repro.net import ETHERNET, FDDI
+from repro.workload import write_file
+
+KB = 1024
+
+
+def busy_network_aggregate(nbiods, clients=4, buffer_kb=48):
+    """Several clients hammering a server with a small socket buffer."""
+    config = TestbedConfig(netspec=ETHERNET, write_path="gather", nbiods=nbiods)
+    testbed = Testbed(config)
+    testbed.server.endpoint.inbox.capacity_bytes = buffer_kb * KB
+    hosts = [testbed.add_client() for _ in range(clients)]
+    env = testbed.env
+    procs = [
+        env.process(write_file(env, host, f"f{i}", 192 * KB))
+        for i, host in enumerate(hosts)
+    ]
+
+    def waiter(env):
+        for proc in procs:
+            yield proc
+
+    env.run(until=env.process(waiter(env)))
+    retrans = sum(h.rpc.retransmissions.value for h in hosts)
+    return clients * 192 * KB / env.now / 1024, retrans, testbed
+
+
+def test_private_network_rewards_more_biods():
+    """On a private network with one writer, more biods keep paying
+    (Table 3: 534 -> 1085 from 3 to 15 biods)."""
+
+    def single(nbiods):
+        config = TestbedConfig(netspec=FDDI, write_path="gather", nbiods=nbiods)
+        testbed = Testbed(config)
+        client = testbed.add_client()
+        env = testbed.env
+        proc = env.process(write_file(env, client, "f", 1024 * KB))
+        env.run(until=proc)
+        return 1024 * KB / proc.value / 1024
+
+    assert single(15) > 1.5 * single(3)
+
+
+def test_busy_network_does_not_reward_biods_past_seven():
+    """On a shared, heavily used network with a bounded socket buffer, 23
+    biods per client buys little or nothing over 7 — the §9 rule of thumb."""
+    seven, retrans7, _tb = busy_network_aggregate(7)
+    many, retrans23, _tb = busy_network_aggregate(23)
+    assert many < 1.15 * seven  # no meaningful gain
+    assert retrans23 >= retrans7  # and more retransmission pressure
+
+
+def test_overflowing_buffer_causes_drops_with_many_biods():
+    _speed, _retrans, testbed = busy_network_aggregate(23, buffer_kb=32)
+    assert testbed.segment.dropped.value > 0

@@ -1,0 +1,87 @@
+"""Tests for the `repro` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_table_requires_valid_number(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table", "9"])
+        args = parser.parse_args(["table", "3"])
+        assert args.number == 3
+        assert args.file_mb == 10.0
+
+    def test_copy_defaults(self):
+        args = build_parser().parse_args(["copy"])
+        assert args.net == "fddi"
+        assert args.biods == 7
+        assert not args.gather
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_copy_standard(self, capsys):
+        assert main(["copy", "--net", "fddi", "--biods", "3", "--file-mb", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "client write speed" in out
+        assert "fddi/standard" in out
+
+    def test_copy_gather_shows_batch_stats(self, capsys):
+        assert (
+            main(["copy", "--gather", "--biods", "7", "--file-mb", "0.5"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "mean gathered batch size" in out
+
+    def test_copy_interval_override(self, capsys):
+        assert (
+            main(
+                [
+                    "copy",
+                    "--gather",
+                    "--interval-ms",
+                    "2",
+                    "--file-mb",
+                    "0.5",
+                ]
+            )
+            == 0
+        )
+        assert "gather" in capsys.readouterr().out
+
+    def test_copy_rejects_gather_plus_siva(self, capsys):
+        assert main(["copy", "--gather", "--siva"]) == 2
+
+    def test_copy_presto_stripes(self, capsys):
+        assert (
+            main(
+                ["copy", "--presto", "--stripes", "3", "--file-mb", "0.5"]
+            )
+            == 0
+        )
+        assert "presto" in capsys.readouterr().out
+
+    def test_table_small(self, capsys):
+        assert main(["table", "1", "--file-mb", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Without Write Gathering" in out
+        assert "measured vs paper" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "standard server" in out
+        assert "gathering server" in out
+
+    def test_laddis_tiny(self, capsys):
+        assert (
+            main(["laddis", "--loads", "60", "--duration", "1.0"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "capacity" in out

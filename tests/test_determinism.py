@@ -1,0 +1,63 @@
+"""Simulation determinism, pinned end to end.
+
+The kernel guarantees identical traces for identical inputs; these tests
+pin that guarantee at full-stack scale (so any accidental use of global
+randomness, wall-clock time, or dict-ordering-dependent behaviour breaks
+loudly) and check that seeds actually change what they should.
+"""
+
+import pytest
+
+from repro.experiments import TestbedConfig, run_filecopy, run_table
+from repro.net import ETHERNET, FDDI
+
+
+class TestBitwiseRepeatability:
+    def test_filecopy_identical_across_runs(self):
+        config = TestbedConfig(netspec=FDDI, write_path="gather", nbiods=7)
+        a = run_filecopy(config, file_mb=1)
+        b = run_filecopy(config, file_mb=1)
+        assert a.elapsed_seconds == b.elapsed_seconds
+        assert a.client_kb_per_sec == b.client_kb_per_sec
+        assert a.server_cpu_pct == b.server_cpu_pct
+        assert a.disk_trans_per_sec == b.disk_trans_per_sec
+
+    def test_all_write_paths_repeatable(self):
+        for write_path in ("standard", "gather", "siva"):
+            config = TestbedConfig(netspec=ETHERNET, write_path=write_path, nbiods=4)
+            a = run_filecopy(config, file_mb=0.5)
+            b = run_filecopy(config, file_mb=0.5)
+            assert a.elapsed_seconds == b.elapsed_seconds, write_path
+
+    def test_presto_and_stripes_repeatable(self):
+        config = TestbedConfig(
+            netspec=FDDI, write_path="gather", nbiods=7, presto_bytes=1 << 20, stripes=3
+        )
+        a = run_filecopy(config, file_mb=1)
+        b = run_filecopy(config, file_mb=1)
+        assert a.elapsed_seconds == b.elapsed_seconds
+
+    def test_table_cells_repeatable(self):
+        a = run_table(1, file_mb=0.25)
+        b = run_table(1, file_mb=0.25)
+        assert a.series("gather", "speed") == b.series("gather", "speed")
+        assert a.series("std", "disk_tps") == b.series("std", "disk_tps")
+
+
+class TestSeedsMatter:
+    def test_loss_seed_changes_outcome(self):
+        from repro.experiments import Testbed
+        from repro.workload import write_file
+
+        def run(seed):
+            config = TestbedConfig(netspec=ETHERNET, write_path="gather", nbiods=7, seed=seed)
+            testbed = Testbed(config)
+            testbed.segment.loss_rate = 0.05
+            client = testbed.add_client()
+            env = testbed.env
+            proc = env.process(write_file(env, client, "f", 128 * 1024))
+            env.run(until=proc)
+            return proc.value
+
+        assert run(1) != run(2)
+        assert run(1) == run(1)

@@ -1,0 +1,67 @@
+"""Ablation: the [JUSZ89] duplicate request cache's correctness value.
+
+Without the cache (the pre-1989 server), a retransmitted REMOVE is
+re-executed and the client receives a spurious ENOENT for a remove that
+actually succeeded — the classic non-idempotency failure the cache exists
+to prevent.
+"""
+
+import pytest
+
+from repro.experiments import Testbed, TestbedConfig
+from repro.net import FDDI
+from repro.rpc import RpcCall
+from repro.nfs import RemoveArgs
+from repro.workload import write_file
+
+
+def drive_duplicate_remove(dup_cache_enabled):
+    config = TestbedConfig(netspec=FDDI, write_path="standard")
+    testbed = Testbed(config)
+    testbed.server.svc.dup_cache.enabled = dup_cache_enabled
+    setup_client = testbed.add_client()
+    client_ep = testbed.segment.attach("raw")
+    env = testbed.env
+    statuses = []
+
+    def driver(env):
+        yield from write_file(env, setup_client, "victim", 8192)
+        args = RemoveArgs((2, 0), "victim")
+        call = RpcCall(xid=7, proc="remove", args=args, size=200, client="raw")
+        client_ep.send("server", call, call.size)
+        first = yield client_ep.recv()
+        statuses.append(first.payload.status)
+        # The client "didn't hear" the reply and retransmits.
+        retransmit = RpcCall(
+            xid=7, proc="remove", args=args, size=200, client="raw", attempt=2
+        )
+        client_ep.send("server", retransmit, retransmit.size)
+        second = yield client_ep.recv()
+        statuses.append(second.payload.status)
+
+    env.run(until=env.process(driver(env)))
+    return statuses
+
+
+def test_with_cache_duplicate_remove_replays_success():
+    statuses = drive_duplicate_remove(dup_cache_enabled=True)
+    assert statuses == ["ok", "ok"]
+
+
+def test_without_cache_duplicate_remove_errs():
+    """The failure mode the cache prevents: the retransmission re-executes
+    and the client sees ENOENT for its own successful remove."""
+    statuses = drive_duplicate_remove(dup_cache_enabled=False)
+    assert statuses == ["ok", "ENOENT"]
+
+
+def test_config_knob_wires_through():
+    testbed = Testbed(TestbedConfig(netspec=FDDI))
+    assert testbed.server.svc.dup_cache.enabled
+    from repro.server import ServerConfig
+
+    config = ServerConfig(dup_cache=False)
+    testbed2 = Testbed(TestbedConfig(netspec=FDDI))
+    testbed2.server.svc.dup_cache.enabled = False  # runtime toggle works too
+    assert not testbed2.server.svc.dup_cache.enabled
+    assert not config.dup_cache

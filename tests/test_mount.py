@@ -1,0 +1,65 @@
+"""Tests for the MOUNT protocol (mountd)."""
+
+import pytest
+
+from repro.experiments import Testbed, TestbedConfig
+from repro.net import FDDI
+from repro.nfs import NfsError
+from repro.workload import write_file
+
+KB = 1024
+
+
+def make_bed():
+    testbed = Testbed(TestbedConfig(netspec=FDDI, write_path="gather"))
+    return testbed, testbed.add_client()
+
+
+def run(testbed, generator):
+    proc = testbed.env.process(generator)
+    testbed.env.run(until=proc)
+    return proc.value
+
+
+def test_mount_returns_root_handle():
+    testbed, client = make_bed()
+
+    def driver():
+        fhandle = yield from client.mount("/export")
+        return fhandle
+
+    fhandle = run(testbed, driver())
+    assert fhandle == testbed.server.vnodes.root.fhandle
+    assert client.root_fhandle == fhandle
+
+
+def test_mount_then_full_workload():
+    testbed, client = make_bed()
+
+    def driver():
+        yield from client.mount("/export")
+        yield from write_file(testbed.env, client, "after-mount", 64 * KB)
+        yield from client.umount("/export")
+
+    run(testbed, driver())
+    ufs = testbed.server.ufs
+    assert ufs.inodes[ufs.root.entries["after-mount"]].size == 64 * KB
+
+
+def test_unexported_path_rejected():
+    testbed, client = make_bed()
+
+    def driver():
+        try:
+            yield from client.mount("/secret")
+        except NfsError as exc:
+            return exc.code
+
+    assert run(testbed, driver()) == "EACCES"
+
+
+def test_custom_export_list():
+    from repro.server import ServerConfig
+
+    config = ServerConfig(exports=("/export", "/scratch"))
+    assert "/scratch" in config.exports

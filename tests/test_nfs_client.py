@@ -1,0 +1,187 @@
+"""Tests for the NFS client: biod write-behind, blocking, sync-on-close,
+client cache-block coalescing."""
+
+import pytest
+
+from repro.experiments import Testbed, TestbedConfig
+from repro.net import FDDI
+from repro.nfs import NfsError
+
+
+def make_bed(nbiods=4, write_path="standard"):
+    config = TestbedConfig(netspec=FDDI, write_path=write_path, nbiods=nbiods)
+    testbed = Testbed(config)
+    client = testbed.add_client()
+    return testbed, client
+
+
+class TestWriteBehind:
+    def test_small_writes_coalesce_into_8k_blocks(self):
+        """Application writes below 8K stay in the client cache block until
+        it fills ('needs to go to the wire')."""
+        testbed, client = make_bed()
+        env = testbed.env
+
+        def driver(env):
+            open_file = yield from client.create("c")
+            for _ in range(4):
+                yield from client.write_stream(open_file, b"a" * 2048)
+            # 8K accumulated: exactly one WRITE should have gone out.
+            return client.bytes_written.value + len(open_file.pending)
+
+        proc = env.process(driver(env))
+        env.run(until=proc)
+        env.run()  # drain the biod's in-flight RPC
+        assert testbed.server.ops_completed["write"].value == 1
+
+    def test_partial_block_flushed_at_close(self):
+        testbed, client = make_bed()
+        env = testbed.env
+
+        def driver(env):
+            open_file = yield from client.create("c")
+            yield from client.write_stream(open_file, b"a" * 3000)
+            yield from client.close(open_file)
+
+        env.run(until=env.process(driver(env)))
+        assert testbed.server.ops_completed["write"].value == 1
+        ufs = testbed.server.ufs
+        assert ufs.inodes[ufs.root.entries["c"]].size == 3000
+
+    def test_biod_handoff_keeps_application_running(self):
+        """With biods free, write_stream returns without waiting for the
+        server; the application's clock barely advances."""
+        testbed, client = make_bed(nbiods=4)
+        env = testbed.env
+
+        def driver(env):
+            open_file = yield from client.create("c")
+            before = env.now
+            yield from client.write_stream(open_file, b"a" * 8192)
+            handoff_time = env.now - before
+            yield from client.close(open_file)
+            return handoff_time
+
+        proc = env.process(driver(env))
+        env.run(until=proc)
+        assert proc.value < 0.005  # far below one server round trip
+        assert client.biod_handoffs.value == 1
+
+    def test_no_biods_blocks_application_per_write(self):
+        testbed, client = make_bed(nbiods=0)
+        env = testbed.env
+
+        def driver(env):
+            open_file = yield from client.create("c")
+            before = env.now
+            yield from client.write_stream(open_file, b"a" * 8192)
+            return env.now - before
+
+        proc = env.process(driver(env))
+        env.run(until=proc)
+        assert proc.value > 0.01  # full synchronous round trip
+        assert client.blocked_writes.value == 1
+        assert client.biod_handoffs.value == 0
+
+    def test_busy_biods_block_the_application(self):
+        testbed, client = make_bed(nbiods=2)
+        env = testbed.env
+
+        def driver(env):
+            open_file = yield from client.create("c")
+            for i in range(3):  # two handoffs, third blocks inline
+                yield from client.write_stream(open_file, bytes([i]) * 8192)
+            yield from client.close(open_file)
+
+        env.run(until=env.process(driver(env)))
+        assert client.biod_handoffs.value == 2
+        assert client.blocked_writes.value == 1
+
+    def test_close_waits_for_all_outstanding(self):
+        testbed, client = make_bed(nbiods=8)
+        env = testbed.env
+
+        def driver(env):
+            open_file = yield from client.create("c")
+            for i in range(6):
+                yield from client.write_stream(open_file, bytes([i]) * 8192)
+            yield from client.close(open_file)
+            return client.bytes_written.value
+
+        proc = env.process(driver(env))
+        env.run(until=proc)
+        assert proc.value == 6 * 8192  # every write answered before close
+
+    def test_negative_biods_rejected(self):
+        testbed, _client = make_bed()
+        from repro.nfs import NfsClient
+
+        with pytest.raises(ValueError):
+            NfsClient(testbed.env, _client.rpc, nbiods=-1)
+
+
+class TestNamespaceOps:
+    def test_lookup_getattr_readdir_statfs(self):
+        testbed, client = make_bed()
+        env = testbed.env
+
+        def driver(env):
+            open_file = yield from client.create("hello")
+            yield from client.close(open_file)
+            fhandle, fattr = yield from client.lookup("hello")
+            assert fhandle == open_file.fhandle
+            attrs = yield from client.getattr(fhandle)
+            names = yield from client.readdir()
+            stats = yield from client.statfs()
+            return fattr, attrs, names, stats
+
+        proc = env.process(driver(env))
+        env.run(until=proc)
+        fattr, attrs, names, stats = proc.value
+        assert fattr.size == 0
+        assert attrs.ino == fattr.ino
+        assert names == ["hello"]
+        assert stats["bfree"] > 0
+
+    def test_lookup_missing_raises(self):
+        testbed, client = make_bed()
+        env = testbed.env
+
+        def driver(env):
+            try:
+                yield from client.lookup("nope")
+            except NfsError as exc:
+                return exc.code
+
+        proc = env.process(driver(env))
+        env.run(until=proc)
+        assert proc.value == "ENOENT"
+
+    def test_setattr_truncate(self):
+        testbed, client = make_bed()
+        env = testbed.env
+
+        def driver(env):
+            open_file = yield from client.create("t")
+            yield from client.write_stream(open_file, b"z" * 8192)
+            yield from client.close(open_file)
+            attrs = yield from client.setattr(open_file.fhandle, size=0)
+            return attrs.size
+
+        proc = env.process(driver(env))
+        env.run(until=proc)
+        assert proc.value == 0
+
+
+class TestRandomAccessClient:
+    def test_write_at_splits_large_buffers(self):
+        testbed, client = make_bed(nbiods=8)
+        env = testbed.env
+
+        def driver(env):
+            open_file = yield from client.create("big")
+            yield from client.write_at(open_file, 0, b"q" * (32 * 1024))
+            yield from client.close(open_file)
+
+        env.run(until=env.process(driver(env)))
+        assert testbed.server.ops_completed["write"].value == 4  # 4 x 8K

@@ -1,0 +1,112 @@
+"""Tests for the SYMLINK / READLINK / RENAME procedures end to end."""
+
+import pytest
+
+from repro.experiments import Testbed, TestbedConfig
+from repro.net import FDDI
+from repro.nfs import NfsError
+
+
+def make_bed():
+    testbed = Testbed(TestbedConfig(netspec=FDDI, write_path="gather"))
+    return testbed, testbed.add_client()
+
+
+def run(testbed, generator):
+    proc = testbed.env.process(generator)
+    testbed.env.run(until=proc)
+    return proc.value
+
+
+class TestSymlinks:
+    def test_symlink_and_readlink(self):
+        testbed, client = make_bed()
+
+        def driver():
+            open_file = yield from client.create("target")
+            yield from client.close(open_file)
+            fhandle, fattr = yield from client.symlink("alias", "target")
+            target = yield from client.readlink(fhandle)
+            return fattr.ftype, target
+
+        ftype, target = run(testbed, driver())
+        assert ftype == "symlink"
+        assert target == "target"
+
+    def test_readlink_on_regular_file_rejected(self):
+        testbed, client = make_bed()
+
+        def driver():
+            open_file = yield from client.create("plain")
+            yield from client.close(open_file)
+            try:
+                yield from client.readlink(open_file.fhandle)
+            except NfsError as exc:
+                return exc.code
+
+        assert run(testbed, driver()) == "EINVAL"
+
+    def test_duplicate_symlink_rejected(self):
+        testbed, client = make_bed()
+
+        def driver():
+            yield from client.symlink("dup", "a")
+            try:
+                yield from client.symlink("dup", "b")
+            except NfsError as exc:
+                return exc.code
+
+        assert run(testbed, driver()) == "EEXIST"
+
+
+class TestRename:
+    def test_rename_moves_entry(self):
+        testbed, client = make_bed()
+
+        def driver():
+            open_file = yield from client.create("before")
+            yield from client.write_stream(open_file, b"x" * 8192)
+            yield from client.close(open_file)
+            yield from client.rename("before", "after")
+            names = yield from client.readdir()
+            fhandle, fattr = yield from client.lookup("after")
+            return names, fhandle, open_file.fhandle
+
+        names, new_fhandle, old_fhandle = run(testbed, driver())
+        assert names == ["after"]
+        assert new_fhandle == old_fhandle  # same file, new name
+
+    def test_rename_replaces_destination(self):
+        testbed, client = make_bed()
+
+        def driver():
+            a = yield from client.create("a")
+            yield from client.close(a)
+            b = yield from client.create("b")
+            yield from client.write_stream(b, b"y" * 8192)
+            yield from client.close(b)
+            yield from client.rename("b", "a")
+            names = yield from client.readdir()
+            fhandle, fattr = yield from client.lookup("a")
+            return names, fattr.size
+
+        names, size = run(testbed, driver())
+        assert names == ["a"]
+        assert size == 8192  # b's content won
+
+    def test_rename_missing_source(self):
+        testbed, client = make_bed()
+
+        def driver():
+            try:
+                yield from client.rename("ghost", "x")
+            except NfsError as exc:
+                return exc.code
+
+        assert run(testbed, driver()) == "ENOENT"
+
+    def test_rename_is_nonidempotent_in_dup_cache(self):
+        from repro.rpc import NONIDEMPOTENT_PROCS
+
+        assert "rename" in NONIDEMPOTENT_PROCS
+        assert "symlink" in NONIDEMPOTENT_PROCS

@@ -1,0 +1,190 @@
+"""Tests for the NFSv3 extension (§8 future work): unstable writes, COMMIT,
+write verifiers, and crash/replay recovery."""
+
+import pytest
+
+from repro.experiments import Testbed, TestbedConfig
+from repro.net import FDDI
+from repro.nfs import NfsClient
+from repro.rpc import RpcClient
+from repro.workload import patterned_chunk, write_file
+
+KB = 1024
+
+
+def make_bed(write_path="standard", nfs_version=3, nbiods=4):
+    config = TestbedConfig(netspec=FDDI, write_path=write_path, nbiods=nbiods)
+    testbed = Testbed(config)
+    endpoint = testbed.segment.attach("v3-client")
+    rpc = RpcClient(testbed.env, endpoint, testbed.server.host)
+    client = NfsClient(testbed.env, rpc, nbiods=nbiods, nfs_version=nfs_version)
+    return testbed, client
+
+
+class TestUnstableWrites:
+    def test_version_validation(self):
+        testbed, client = make_bed()
+        with pytest.raises(ValueError):
+            NfsClient(testbed.env, client.rpc, nfs_version=4)
+
+    def test_unstable_write_replies_fast(self):
+        """No disk I/O before the reply: latency is network + CPU only."""
+        testbed, v3 = make_bed(nfs_version=3, nbiods=0)
+        env = testbed.env
+
+        def driver(env):
+            open_file = yield from v3.create("fast")
+            before = env.now
+            yield from v3.write_stream(open_file, b"a" * 8192)
+            return env.now - before, open_file
+
+        proc = env.process(driver(env))
+        env.run(until=proc)
+        elapsed, _open_file = proc.value
+        assert elapsed < 0.005  # a stable v2 write costs ~30 ms here
+
+    def test_data_not_durable_until_commit(self):
+        testbed, v3 = make_bed()
+        env = testbed.env
+        state = {}
+
+        def driver(env):
+            open_file = yield from v3.create("pending")
+            yield from v3.write_stream(open_file, patterned_chunk(0))
+            yield env.timeout(0.05)  # let the biod's RPC finish
+            state["before_close"] = testbed.server.ufs.durable_read(
+                testbed.server.ufs.root.entries["pending"], 0, 8192
+            )
+            yield from v3.close(open_file)
+            state["after_close"] = testbed.server.ufs.durable_read(
+                testbed.server.ufs.root.entries["pending"], 0, 8192
+            )
+
+        env.run(until=env.process(driver(env)))
+        assert state["before_close"] is None
+        assert state["after_close"] == patterned_chunk(0)
+
+    def test_close_commits_whole_file(self):
+        testbed, v3 = make_bed()
+        env = testbed.env
+        proc = env.process(write_file(env, v3, "big", 256 * KB))
+        env.run(until=proc)
+        ufs = testbed.server.ufs
+        ino = ufs.root.entries["big"]
+        expected = b"".join(patterned_chunk(i, 8 * KB) for i in range(32))
+        assert ufs.durable_read(ino, 0, 256 * KB) == expected
+
+    def test_commit_counted_once_per_close(self):
+        testbed, v3 = make_bed()
+        env = testbed.env
+        env.run(until=env.process(write_file(env, v3, "c", 128 * KB)))
+        assert testbed.server.ops_completed["commit"].value == 1
+
+    def test_v3_faster_than_v2_standard(self):
+        """§8: reliable asynchronous writes remove the per-write stable
+        latency entirely; the standard v2 server cannot compete."""
+
+        def run(nfs_version):
+            testbed, client = make_bed(nfs_version=nfs_version, nbiods=4)
+            env = testbed.env
+            proc = env.process(write_file(env, client, "race", 512 * KB))
+            env.run(until=proc)
+            return 512 * KB / proc.value
+
+        assert run(3) > 2.0 * run(2)
+
+
+class TestCrashRecovery:
+    def test_verifier_changes_on_crash(self):
+        testbed, _v3 = make_bed()
+        before = testbed.server.boot_verifier
+        testbed.server.simulate_crash()
+        assert testbed.server.boot_verifier == before + 1
+
+    def test_crash_discards_unstable_data(self):
+        testbed, v3 = make_bed()
+        env = testbed.env
+        state = {}
+
+        def driver(env):
+            open_file = yield from v3.create("lostling")
+            yield from v3.write_stream(open_file, patterned_chunk(1))
+            yield env.timeout(0.05)
+            testbed.server.simulate_crash()
+            ufs = testbed.server.ufs
+            ino = ufs.root.entries["lostling"]
+            state["durable_after_crash"] = ufs.durable_read(ino, 0, 8192)
+            state["in_core_size"] = ufs.inodes[ino].size
+
+        env.run(until=env.process(driver(env)))
+        assert state["durable_after_crash"] is None  # data really lost
+        assert state["in_core_size"] == 0  # metadata reverted to snapshot
+
+    def test_client_replays_after_crash_and_data_survives(self):
+        """The v3 contract end-to-end: a crash between unstable writes and
+        COMMIT changes the verifier; the client resends its held data and
+        commits again; the file is intact afterwards."""
+        testbed, v3 = make_bed()
+        env = testbed.env
+
+        def driver(env):
+            open_file = yield from v3.create("phoenix")
+            for index in range(8):
+                yield from v3.write_stream(open_file, patterned_chunk(index))
+            yield env.timeout(0.1)  # all unstable writes answered
+            testbed.server.simulate_crash()
+            yield from v3.close(open_file)  # commit -> mismatch -> replay
+            return open_file
+
+        proc = env.process(driver(env))
+        env.run(until=proc)
+        open_file = proc.value
+        assert open_file.uncommitted == []
+        ufs = testbed.server.ufs
+        ino = ufs.root.entries["phoenix"]
+        expected = b"".join(patterned_chunk(i) for i in range(8))
+        assert ufs.durable_read(ino, 0, 64 * KB) == expected
+
+    def test_no_replay_when_no_crash(self):
+        testbed, v3 = make_bed()
+        env = testbed.env
+
+        def driver(env):
+            open_file = yield from v3.create("calm")
+            yield from v3.write_stream(open_file, patterned_chunk(0))
+            yield from v3.close(open_file)
+            return open_file
+
+        proc = env.process(driver(env))
+        env.run(until=proc)
+        assert proc.value.uncommitted == []
+        assert not proc.value.needs_replay
+        # exactly 1 write on the wire (no resend)
+        assert testbed.server.ops_completed["write"].value == 1
+
+
+class TestMixedEnvironment:
+    def test_v2_and_v3_clients_share_a_gathering_server(self):
+        """§8: 'a mixed environment of V2 clients ... and V3 clients using
+        reliable asynchronous writes' — both complete, both files durable,
+        the v2 client's stable-storage contract intact."""
+        config = TestbedConfig(netspec=FDDI, write_path="gather", nbiods=4, verify_stable=True)
+        testbed = Testbed(config)
+        v2 = testbed.add_client()
+        endpoint = testbed.segment.attach("v3-client")
+        rpc = RpcClient(testbed.env, endpoint, testbed.server.host)
+        v3 = NfsClient(testbed.env, rpc, nbiods=4, nfs_version=3)
+        env = testbed.env
+        p2 = env.process(write_file(env, v2, "v2file", 128 * KB))
+        p3 = env.process(write_file(env, v3, "v3file", 128 * KB))
+
+        def waiter(env):
+            yield p2
+            yield p3
+
+        env.run(until=env.process(waiter(env)))
+        assert testbed.server.stable_violations == []
+        ufs = testbed.server.ufs
+        for name in ("v2file", "v3file"):
+            ino = ufs.root.entries[name]
+            assert ufs.durable_read(ino, 0, 128 * KB) is not None

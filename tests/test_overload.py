@@ -1,0 +1,132 @@
+"""Server-overload behaviour: socket-buffer drops, client backoff, and the
+many-writers scaling claim of §6.1.
+
+§4.2: "If the queue fills ... some incoming requests may be lost and client
+backoff/retransmission comes into play.  The server depends upon its
+clients to attenuate their request loads as it becomes heavily loaded."
+"""
+
+import pytest
+
+from repro.core import GatherPolicy
+from repro.experiments import Testbed, TestbedConfig
+from repro.net import ETHERNET, FDDI
+from repro.rpc import CLASS_HEAVY
+from repro.server import ServerConfig
+from repro.workload import write_file
+
+KB = 1024
+
+
+class TestSocketBufferOverload:
+    def overloaded_run(self, buffer_bytes):
+        config = TestbedConfig(netspec=FDDI, write_path="standard", nbiods=15)
+        testbed = Testbed(config)
+        # Shrink the server's socket buffer after construction.
+        testbed.server.endpoint.inbox.capacity_bytes = buffer_bytes
+        clients = [testbed.add_client() for _ in range(4)]
+        env = testbed.env
+        procs = [
+            env.process(write_file(env, client, f"f{i}", 128 * KB))
+            for i, client in enumerate(clients)
+        ]
+
+        def waiter(env):
+            for proc in procs:
+                yield proc
+
+        env.run(until=env.process(waiter(env)))
+        return testbed, clients
+
+    def test_small_buffer_drops_and_retransmits(self):
+        testbed, clients = self.overloaded_run(buffer_bytes=20 * KB)
+        assert testbed.segment.dropped.value > 0
+        total_retrans = sum(c.rpc.retransmissions.value for c in clients)
+        assert total_retrans > 0
+        # Every file still completes intact (exactly-once effects).
+        ufs = testbed.server.ufs
+        for i in range(4):
+            ino = ufs.root.entries[f"f{i}"]
+            assert ufs.inodes[ino].size == 128 * KB
+
+    def test_ample_buffer_no_drops(self):
+        testbed, clients = self.overloaded_run(buffer_bytes=1 << 20)
+        assert testbed.segment.dropped.value == 0
+
+    def test_backoff_inflates_under_slow_writes(self):
+        """Write latency is the heavyweight backoff indicator (§4.1): a
+        client hammered by a slow server raises its heavyweight base
+        timeout, attenuating its own retransmissions."""
+        config = TestbedConfig(netspec=ETHERNET, write_path="standard", nbiods=0)
+        testbed = Testbed(config)
+        client = testbed.add_client()
+        env = testbed.env
+        base_before = client.rpc.policy.base(CLASS_HEAVY)
+        env.run(until=env.process(write_file(env, client, "slow", 256 * KB)))
+        # ~48 ms writes x 4 multiplier stays under the 1.1 s floor, so the
+        # base holds at the floor here; now stress it with huge latencies.
+        for _ in range(50):
+            client.rpc.policy.observe(CLASS_HEAVY, 2.0)
+        assert client.rpc.policy.base(CLASS_HEAVY) > 2 * base_before
+
+
+class TestManyWritersScaling:
+    """§6.1: the delayed-reply architecture 'should scale well for large
+    servers with many active client writers'."""
+
+    def aggregate_bandwidth(self, write_path, writers, stripes=3, nfsds=16):
+        config = TestbedConfig(
+            netspec=FDDI,
+            write_path=write_path,
+            nbiods=4,
+            stripes=stripes,
+            nfsds=nfsds,
+            verify_stable=True,
+        )
+        testbed = Testbed(config)
+        clients = [testbed.add_client() for _ in range(writers)]
+        env = testbed.env
+        procs = [
+            env.process(write_file(env, client, f"w{i}", 256 * KB))
+            for i, client in enumerate(clients)
+        ]
+
+        def waiter(env):
+            for proc in procs:
+                yield proc
+
+        env.run(until=env.process(waiter(env)))
+        assert testbed.server.stable_violations == []
+        return writers * 256 * KB / env.now / 1024  # KB/s aggregate
+
+    def test_gathering_scales_with_writer_count(self):
+        one = self.aggregate_bandwidth("gather", 1)
+        four = self.aggregate_bandwidth("gather", 4)
+        assert four > 2.0 * one
+
+    def test_gathering_beats_standard_with_many_writers(self):
+        std = self.aggregate_bandwidth("standard", 4)
+        gat = self.aggregate_bandwidth("gather", 4)
+        assert gat > 1.5 * std
+
+    def test_per_file_batches_stay_independent(self):
+        """Writers to different files must not gather into each other's
+        batches (descriptors are per-vnode)."""
+        config = TestbedConfig(netspec=FDDI, write_path="gather", nbiods=4, nfsds=16)
+        testbed = Testbed(config)
+        clients = [testbed.add_client() for _ in range(3)]
+        env = testbed.env
+        procs = [
+            env.process(write_file(env, client, f"x{i}", 64 * KB))
+            for i, client in enumerate(clients)
+        ]
+
+        def waiter(env):
+            for proc in procs:
+                yield proc
+
+        env.run(until=env.process(waiter(env)))
+        stats = testbed.server.write_path.stats
+        # 3 files x 8 writes; max possible batch for one file is 8.
+        assert stats.batch_size.max <= 8
+        assert testbed.server.write_path.queues.pending_total() == 0

@@ -1,0 +1,73 @@
+"""Tests for result serialization and fidelity scoring."""
+
+import json
+
+import pytest
+
+from repro.experiments import run_table
+from repro.experiments.results import (
+    SeriesFidelity,
+    save_json,
+    score_series,
+    table_to_dict,
+)
+
+
+class TestScoreSeries:
+    def test_perfect_match(self):
+        fidelity = score_series("x", [100, 200, 300], [100, 200, 300])
+        assert fidelity.verdict == "match"
+        assert fidelity.geometric_mean_ratio == pytest.approx(1.0)
+        assert fidelity.mean_abs_log2_ratio == 0.0
+        assert fidelity.ordering_preserved
+
+    def test_within_25_percent_is_match(self):
+        fidelity = score_series("x", [115, 230], [100, 200])
+        assert fidelity.verdict == "match"
+
+    def test_within_2x_with_ordering_is_shape(self):
+        fidelity = score_series("x", [60, 120, 180], [100, 200, 300])
+        assert fidelity.verdict == "shape"
+        assert fidelity.ordering_preserved
+
+    def test_wrong_ordering_is_deviation(self):
+        # Paper rises, measurement falls, and magnitudes are off by ~2x.
+        fidelity = score_series("x", [200, 110, 55], [100, 200, 300])
+        assert not fidelity.ordering_preserved
+        assert fidelity.verdict == "deviation"
+
+    def test_flat_vs_small_moves_tolerated(self):
+        fidelity = score_series("x", [100, 101, 100], [100, 120, 140])
+        assert fidelity.ordering_preserved  # flat is not a contradiction
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            score_series("x", [1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            score_series("x", [], [])
+
+    def test_nonpositive_values_penalized(self):
+        fidelity = score_series("x", [0, 100], [100, 100])
+        assert fidelity.verdict == "deviation"
+
+    def test_to_dict_roundtrips_json(self):
+        fidelity = score_series("x", [1.0], [1.0])
+        assert json.loads(json.dumps(fidelity.to_dict()))["label"] == "x"
+
+
+class TestTableSerialization:
+    def test_table_to_dict_shape(self):
+        result = run_table(1, file_mb=0.5)
+        payload = table_to_dict(result)
+        assert payload["table"] == 1
+        assert payload["network"] == "ethernet"
+        assert len(payload["standard"]) == len(payload["biods"])
+        cell = payload["gathering"][0]
+        assert {"nbiods", "client_kb_per_sec", "server_cpu_pct"} <= set(cell)
+
+    def test_save_json(self, tmp_path):
+        result = run_table(1, file_mb=0.5)
+        path = tmp_path / "out.json"
+        save_json(str(path), table_to_dict(result))
+        loaded = json.loads(path.read_text())
+        assert loaded["table"] == 1

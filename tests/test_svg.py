@@ -1,0 +1,64 @@
+"""Tests for the SVG chart renderer."""
+
+import pytest
+
+from repro.metrics.svg import LineChart, _nice_ticks
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0, 97)
+        assert ticks[0] <= 0
+        assert ticks[-1] >= 97
+
+    def test_rounded_steps(self):
+        ticks = _nice_ticks(0, 1000)
+        steps = {round(b - a, 6) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5, 5)
+        assert len(ticks) >= 2
+
+
+class TestLineChart:
+    def make(self):
+        chart = LineChart("T", "x", "y")
+        chart.add_series("a", [(0, 0), (10, 5), (20, 3)])
+        chart.add_series("b", [(0, 1), (10, 2)], dashed=True)
+        return chart
+
+    def test_renders_valid_svg_shell(self):
+        svg = self.make().render()
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_contains_titles_and_series(self):
+        svg = self.make().render()
+        assert ">T<" in svg
+        assert ">a<" in svg and ">b<" in svg
+        assert svg.count("<polyline") == 2
+        assert "stroke-dasharray" in svg
+
+    def test_points_drawn(self):
+        svg = self.make().render()
+        assert svg.count("<circle") == 5
+
+    def test_empty_series_rejected(self):
+        chart = LineChart("T", "x", "y")
+        with pytest.raises(ValueError):
+            chart.add_series("empty", [])
+        with pytest.raises(ValueError):
+            chart.render()
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        self.make().save(str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_parses_as_xml(self):
+        import xml.etree.ElementTree as ET
+
+        root = ET.fromstring(self.make().render())
+        assert root.tag.endswith("svg")

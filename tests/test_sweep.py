@@ -1,0 +1,61 @@
+"""Tests for the parameter sweep API and its CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import TestbedConfig, sweep, sweepable_fields
+
+
+class TestSweepApi:
+    def test_biod_sweep(self):
+        results = sweep(
+            TestbedConfig(write_path="gather"), "nbiods", [0, 7], file_mb=0.5
+        )
+        assert len(results) == 2
+        assert results[1].client_kb_per_sec > results[0].client_kb_per_sec
+
+    def test_interval_ms_derived_field(self):
+        results = sweep(
+            TestbedConfig(write_path="gather", nbiods=7),
+            "interval_ms",
+            [0, 5],
+            file_mb=0.5,
+        )
+        assert results[1].mean_batch_size > results[0].mean_batch_size
+
+    def test_presto_mb_derived_field(self):
+        results = sweep(
+            TestbedConfig(write_path="standard", nbiods=7),
+            "presto_mb",
+            [0, 1],
+            file_mb=0.5,
+        )
+        assert results[1].client_kb_per_sec > 2 * results[0].client_kb_per_sec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(TestbedConfig(), "warp_factor", [1])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(TestbedConfig(), "nbiods", [])
+
+    def test_sweepable_fields_lists_derived(self):
+        fields = sweepable_fields()
+        assert "interval_ms" in fields
+        assert "presto_mb" in fields
+        assert "nbiods" in fields
+        assert "netspec" not in fields  # not scalar-sweepable
+
+
+class TestSweepCli:
+    def test_cli_sweep(self, capsys):
+        assert (
+            main(["sweep", "nbiods", "0", "3", "--gather", "--file-mb", "0.5"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "nbiods" in out
+        assert "KB/s" in out
+
+    def test_cli_sweep_bad_field(self, capsys):
+        assert main(["sweep", "nonsense", "1"]) == 2

@@ -1,0 +1,130 @@
+"""Tests for RateSeries (the §5 traffic-cycle oracle) and the timesharing
+multiprocess client workload."""
+
+import pytest
+
+from repro.experiments import Testbed, TestbedConfig
+from repro.metrics import RateSeries
+from repro.net import ETHERNET, FDDI
+from repro.rpc.messages import RpcCall
+from repro.sim import Environment
+from repro.workload import run_timesharing
+
+KB = 1024
+
+
+class TestRateSeries:
+    def test_bucketing_and_rates(self):
+        env = Environment()
+        series = RateSeries(env, bucket_seconds=1.0)
+
+        def proc(env):
+            series.observe(10)
+            yield env.timeout(0.5)
+            series.observe(10)
+            yield env.timeout(1.0)  # now in bucket 1
+            series.observe(5)
+
+        env.run(until=env.process(proc(env)))
+        rates = series.rates()
+        assert rates[0] == pytest.approx(20.0)
+        assert rates[1] == pytest.approx(5.0)
+        assert series.mean_rate() == pytest.approx(12.5)
+
+    def test_burstiness_detects_on_off_pattern(self):
+        env = Environment()
+        bursty = RateSeries(env, bucket_seconds=0.1)
+        smooth = RateSeries(env, bucket_seconds=0.1)
+
+        def proc(env):
+            for i in range(40):
+                smooth.observe(1)
+                if i % 4 == 0:
+                    bursty.observe(4)
+                yield env.timeout(0.1)
+
+        env.run(until=env.process(proc(env)))
+        assert bursty.burstiness() > 3 * smooth.burstiness()
+        assert bursty.idle_fraction() > 0.5
+        assert smooth.idle_fraction() == pytest.approx(0.0, abs=0.05)
+
+    def test_sparkline(self):
+        env = Environment()
+        series = RateSeries(env, bucket_seconds=1.0)
+
+        def proc(env):
+            for _ in range(5):
+                series.observe(3)
+                yield env.timeout(1.0)
+
+        env.run(until=env.process(proc(env)))
+        line = series.sparkline(width=10)
+        assert len(line) >= 5
+        assert set(line) <= set(" .:-=+*#%@")
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            RateSeries(Environment(), bucket_seconds=0)
+
+
+class TestTrafficCycles:
+    def test_standard_server_traffic_oscillates(self):
+        """§5: 'A cycle of these uni-directional traffic shifts continues'
+        — client write emissions come in trains separated by reply waits,
+        so the per-10ms write rate is strongly bursty."""
+        config = TestbedConfig(netspec=ETHERNET, write_path="standard", nbiods=4)
+        testbed = Testbed(config)
+        client = testbed.add_client()
+        env = testbed.env
+        series = RateSeries(env, bucket_seconds=0.01)
+        endpoint = client.rpc.endpoint
+        original_send = endpoint.send
+
+        def counting_send(dst, payload, size):
+            if isinstance(payload, RpcCall) and payload.proc == "write":
+                series.observe(1)
+            original_send(dst, payload, size)
+
+        endpoint.send = counting_send
+        from repro.workload import write_file
+
+        proc = env.process(write_file(env, client, "osc", 512 * KB))
+        env.run(until=proc)
+        assert series.burstiness() > 1.0
+        assert series.idle_fraction() > 0.4
+
+
+class TestTimesharing:
+    def run_host(self, write_path, processes=3, nbiods=4):
+        config = TestbedConfig(netspec=FDDI, write_path=write_path, nbiods=nbiods)
+        testbed = Testbed(config)
+        client = testbed.add_client()
+        env = testbed.env
+        proc = env.process(
+            run_timesharing(env, client, processes, 128 * KB), name="timesharing"
+        )
+        env.run(until=proc)
+        return testbed, proc.value, env.now
+
+    def test_all_processes_complete(self):
+        testbed, elapsed, _total = self.run_host("gather")
+        assert len(elapsed) == 3
+        ufs = testbed.server.ufs
+        for index in range(3):
+            assert ufs.inodes[ufs.root.entries[f"ts.{index:02d}"]].size == 128 * KB
+
+    def test_gathering_helps_the_timesharing_host(self):
+        _tb1, _e1, std_total = self.run_host("standard")
+        _tb2, _e2, gat_total = self.run_host("gather")
+        assert gat_total < 0.8 * std_total
+
+    def test_rough_fairness_across_processes(self):
+        _testbed, elapsed, _total = self.run_host("gather")
+        assert max(elapsed) < 3.0 * min(elapsed)
+
+    def test_requires_a_process(self):
+        config = TestbedConfig(netspec=FDDI)
+        testbed = Testbed(config)
+        client = testbed.add_client()
+        with pytest.raises(ValueError):
+            next(run_timesharing(testbed.env, client, 0, KB))

@@ -5,35 +5,104 @@ Installed as the ``repro`` console script (also usable as
 
     repro table 3                 # regenerate Table 3 (paper layout + ratios)
     repro table 1 --file-mb 2     # quick run at reduced scale
-    repro copy --net fddi --biods 7 --gather
+    repro copy --net fddi --biods 7 --write-path gather
     repro copy --net ethernet --presto --stripes 3
+    repro copy --write-path gather --json   # machine-readable + span phases
     repro trace                   # Figure 1 timelines
     repro laddis --presto         # Figure 2/3 style curve
     repro claims                  # one-screen summary of headline results
+
+Every handler goes through :func:`repro.experiments.run` with an
+:class:`~repro.experiments.ExperimentSpec`; the CLI only parses arguments
+and formats results.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import warnings
 from typing import List, Optional
 
 from repro.core.policy import GatherPolicy
 from repro.experiments import (
     PAPER,
     TABLES,
-    figure1,
-    run_curve,
-    run_filecopy,
-    run_table,
+    ExperimentSpec,
+    run,
+    table_to_dict,
 )
 from repro.experiments.testbed import TestbedConfig
 from repro.metrics import format_comparison
 from repro.net import ETHERNET, FDDI
+from repro.server.config import WritePath
 
 __all__ = ["main", "build_parser"]
 
 _NETWORKS = {"ethernet": ETHERNET, "fddi": FDDI}
+
+
+class _UsageError(Exception):
+    """Bad flag combination; the handler prints it and returns 2."""
+
+
+def _add_write_path_options(parser: argparse.ArgumentParser, siva: bool = True) -> None:
+    parser.add_argument(
+        "--write-path",
+        choices=[member.value for member in WritePath],
+        default=None,
+        help="rfs_write implementation to run (default: standard)",
+    )
+    parser.add_argument(
+        "--gather",
+        action="store_true",
+        help="(deprecated) alias for --write-path gather",
+    )
+    if siva:
+        parser.add_argument(
+            "--siva",
+            action="store_true",
+            help="(deprecated) alias for --write-path siva",
+        )
+
+
+def _resolve_write_path(args) -> WritePath:
+    """Fold the new --write-path option and the legacy flags together."""
+    gather = getattr(args, "gather", False)
+    siva = getattr(args, "siva", False)
+    if gather and siva:
+        raise _UsageError("choose at most one of --gather / --siva")
+    legacy = WritePath.GATHER if gather else (WritePath.SIVA if siva else None)
+    if legacy is not None:
+        flag = "--gather" if gather else "--siva"
+        message = f"{flag} is deprecated; use --write-path {legacy}"
+        warnings.warn(message, DeprecationWarning, stacklevel=2)
+        print(f"note: {message}", file=sys.stderr)
+        if args.write_path is not None and args.write_path != legacy.value:
+            raise _UsageError(
+                f"conflicting write paths: {flag} vs --write-path {args.write_path}"
+            )
+    if args.write_path is not None:
+        return WritePath.coerce(args.write_path)
+    return legacy if legacy is not None else WritePath.STANDARD
+
+
+def _config_from_args(args, write_path: WritePath, tracing: bool = False) -> TestbedConfig:
+    """Build the TestbedConfig the copy/sweep subcommands share."""
+    policy = GatherPolicy()
+    if getattr(args, "interval_ms", None) is not None:
+        policy = GatherPolicy(interval=args.interval_ms / 1000.0)
+    return TestbedConfig(
+        netspec=_NETWORKS[args.net],
+        write_path=write_path,
+        nbiods=args.biods,
+        presto_bytes=(1 << 20) if getattr(args, "presto", False) else None,
+        stripes=getattr(args, "stripes", 1),
+        nfsds=getattr(args, "nfsds", 8),
+        gather_policy=policy,
+        tracing=tracing,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,17 +115,22 @@ def build_parser() -> argparse.ArgumentParser:
     table = subparsers.add_parser("table", help="regenerate one of Tables 1-6")
     table.add_argument("number", type=int, choices=sorted(TABLES))
     table.add_argument("--file-mb", type=float, default=10.0, help="copy size (paper: 10)")
+    table.add_argument("--json", action="store_true", help="emit the table as JSON")
 
     copy = subparsers.add_parser("copy", help="run one file-copy cell")
     copy.add_argument("--net", choices=sorted(_NETWORKS), default="fddi")
     copy.add_argument("--biods", type=int, default=7)
-    copy.add_argument("--gather", action="store_true", help="enable write gathering")
-    copy.add_argument("--siva", action="store_true", help="use the SIVA93 variant")
+    _add_write_path_options(copy)
     copy.add_argument("--presto", action="store_true", help="NVRAM accelerator")
     copy.add_argument("--stripes", type=int, default=1)
     copy.add_argument("--nfsds", type=int, default=8)
     copy.add_argument("--file-mb", type=float, default=10.0)
     copy.add_argument("--interval-ms", type=float, default=None, help="procrastination override")
+    copy.add_argument(
+        "--json",
+        action="store_true",
+        help="emit JSON (runs traced: includes per-phase latency percentiles)",
+    )
 
     subparsers.add_parser("trace", help="print the Figure 1 timelines")
 
@@ -76,14 +150,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("field", help="TestbedConfig field, or interval_ms / presto_mb")
     sweep_cmd.add_argument("values", nargs="+", help="values to sweep")
     sweep_cmd.add_argument("--net", choices=sorted(_NETWORKS), default="fddi")
-    sweep_cmd.add_argument("--gather", action="store_true")
+    _add_write_path_options(sweep_cmd, siva=False)
     sweep_cmd.add_argument("--biods", type=int, default=7)
     sweep_cmd.add_argument("--file-mb", type=float, default=4.0)
+    sweep_cmd.add_argument("--json", action="store_true", help="emit results as JSON")
     return parser
 
 
 def _cmd_table(args) -> int:
-    result = run_table(args.number, file_mb=args.file_mb)
+    result = run(ExperimentSpec(kind="table", table=args.number, file_mb=args.file_mb))
+    if args.json:
+        print(json.dumps(table_to_dict(result), indent=2, sort_keys=True))
+        return 0
     print(result.render())
     print()
     paper = PAPER[args.number]
@@ -100,23 +178,16 @@ def _cmd_table(args) -> int:
 
 
 def _cmd_copy(args) -> int:
-    if args.gather and args.siva:
-        print("choose at most one of --gather / --siva", file=sys.stderr)
+    try:
+        write_path = _resolve_write_path(args)
+    except _UsageError as exc:
+        print(exc, file=sys.stderr)
         return 2
-    write_path = "gather" if args.gather else ("siva" if args.siva else "standard")
-    policy = GatherPolicy()
-    if args.interval_ms is not None:
-        policy = GatherPolicy(interval=args.interval_ms / 1000.0)
-    config = TestbedConfig(
-        netspec=_NETWORKS[args.net],
-        write_path=write_path,
-        nbiods=args.biods,
-        presto_bytes=(1 << 20) if args.presto else None,
-        stripes=args.stripes,
-        nfsds=args.nfsds,
-        gather_policy=policy,
-    )
-    metrics = run_filecopy(config, file_mb=args.file_mb)
+    config = _config_from_args(args, write_path, tracing=args.json)
+    metrics = run(ExperimentSpec(kind="copy", config=config, file_mb=args.file_mb))
+    if args.json:
+        print(json.dumps(metrics.to_json(), indent=2, sort_keys=True))
+        return 0
     print(f"configuration: {metrics.label}, {args.biods} biods, {args.file_mb} MB copy")
     for name, value in metrics.row().items():
         print(f"  {name:<32} {value}")
@@ -127,8 +198,8 @@ def _cmd_copy(args) -> int:
     return 0
 
 
-def _cmd_trace(_args) -> int:
-    sides = figure1(file_kb=256)
+def _cmd_trace(args) -> int:
+    sides = run(ExperimentSpec(kind="trace"))
     for name in ("standard", "gathering"):
         side = sides[name]
         print(f"=== {name} server — window from {side['window_start_ms']:.1f} ms ===")
@@ -142,8 +213,16 @@ def _cmd_trace(_args) -> int:
 
 def _cmd_laddis(args) -> int:
     curves = {
-        "standard": run_curve("standard", presto=args.presto, loads=args.loads, duration=args.duration),
-        "gathering": run_curve("gather", presto=args.presto, loads=args.loads, duration=args.duration),
+        name: run(
+            ExperimentSpec(
+                kind="curve",
+                write_path=path,
+                presto=args.presto,
+                loads=args.loads,
+                duration=args.duration,
+            )
+        )
+        for name, path in (("standard", WritePath.STANDARD), ("gathering", WritePath.GATHER))
     }
     print(f"{'offered':>8} {'std ops/s':>10} {'std ms':>8} {'gat ops/s':>10} {'gat ms':>8}")
     for s_point, g_point in zip(curves["standard"].points, curves["gathering"].points):
@@ -175,7 +254,7 @@ def _cmd_claims(_args) -> int:
         ),
     ]
     for label, config in rows:
-        metrics = run_filecopy(config, file_mb=2)
+        metrics = run(ExperimentSpec(kind="copy", config=config, file_mb=2))
         print(
             f"  {label:<32} {metrics.client_kb_per_sec:7.0f} KB/s  "
             f"cpu {metrics.server_cpu_pct:4.1f}%  disk {metrics.disk_trans_per_sec:5.1f} t/s"
@@ -195,7 +274,7 @@ def _parse_value(text: str):
 
 
 def _cmd_sweep(args) -> int:
-    from repro.experiments import sweep, sweepable_fields
+    from repro.experiments import sweepable_fields
 
     if args.field not in sweepable_fields():
         print(
@@ -204,13 +283,34 @@ def _cmd_sweep(args) -> int:
             file=sys.stderr,
         )
         return 2
+    try:
+        write_path = _resolve_write_path(args)
+    except _UsageError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     base = TestbedConfig(
         netspec=_NETWORKS[args.net],
-        write_path="gather" if args.gather else "standard",
+        write_path=write_path,
         nbiods=args.biods,
     )
     values = [_parse_value(v) for v in args.values]
-    results = sweep(base, args.field, values, file_mb=args.file_mb)
+    results = run(
+        ExperimentSpec(
+            kind="sweep",
+            config=base,
+            sweep_field=args.field,
+            values=values,
+            file_mb=args.file_mb,
+        )
+    )
+    if args.json:
+        payload = {
+            "field": args.field,
+            "values": values,
+            "results": [metrics.to_json() for metrics in results],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"{args.field:>14} {'KB/s':>8} {'cpu %':>7} {'disk t/s':>9} {'batch':>7}")
     for value, metrics in zip(values, results):
         batch = f"{metrics.mean_batch_size:6.1f}" if metrics.mean_batch_size else "     -"

@@ -49,24 +49,36 @@ from repro.fs.vfs import (
     Vnode,
 )
 from repro.nfs.protocol import Fattr
+from repro.obs import (
+    PHASE_COMMIT,
+    PHASE_PARKED,
+    PHASE_PROCRASTINATE,
+    PHASE_REPLY,
+    PHASE_VNODE_WAIT,
+    registry_for,
+)
 from repro.rpc.server import REPLY_DONE, REPLY_PENDING, TransportHandle
-from repro.sim import Counter, Tally
 
 __all__ = ["GatheringWritePath", "GatherStats"]
 
 
 class GatherStats:
-    """Observability for gathering success rates (§6.6 monitoring)."""
+    """Observability for gathering success rates (§6.6 monitoring).
 
-    def __init__(self, env) -> None:
-        self.writes = Counter(env, "gather.writes")
-        self.batches = Counter(env, "gather.batches")
-        self.batch_size = Tally("gather.batch_size", keep_samples=True)
-        self.procrastinations = Counter(env, "gather.procrastinations")
-        self.handoffs_nfsd = Counter(env, "gather.handoffs.nfsd")
-        self.handoffs_mbuf = Counter(env, "gather.handoffs.mbuf")
-        self.watchdog_sweeps = Counter(env, "gather.watchdog_sweeps")
-        self.skipped_procrastinations = Counter(env, "gather.learned_skips")
+    Instruments live in the environment's central
+    :class:`~repro.obs.registry.MetricsRegistry` under ``prefix``.
+    """
+
+    def __init__(self, env, prefix: str = "gather") -> None:
+        metrics = registry_for(env)
+        self.writes = metrics.counter(f"{prefix}.writes")
+        self.batches = metrics.counter(f"{prefix}.batches")
+        self.batch_size = metrics.tally(f"{prefix}.batch_size", keep_samples=True)
+        self.procrastinations = metrics.counter(f"{prefix}.procrastinations")
+        self.handoffs_nfsd = metrics.counter(f"{prefix}.handoffs.nfsd")
+        self.handoffs_mbuf = metrics.counter(f"{prefix}.handoffs.mbuf")
+        self.watchdog_sweeps = metrics.counter(f"{prefix}.watchdog_sweeps")
+        self.skipped_procrastinations = metrics.counter(f"{prefix}.learned_skips")
 
     def gather_success_rate(self) -> float:
         """Fraction of writes that shared their metadata update.
@@ -97,7 +109,7 @@ class GatheringWritePath:
         self.policy = policy or GatherPolicy()
         self.state_table = NfsdStateTable(server.config.nfsds)
         self.queues = WriteQueueRegistry()
-        self.stats = GatherStats(server.env)
+        self.stats = GatherStats(server.env, prefix=f"{server.host}.gather")
         self.learned = (
             LearnedClientDb(threshold=self.policy.learned_threshold)
             if self.policy.learned_clients
@@ -128,6 +140,7 @@ class GatheringWritePath:
             yield from self.server.reply(handle, exc.code, None)
             return REPLY_DONE
         self.stats.writes.add(1)
+        trace = self.server.trace_of(handle)
         self.state_table.set(nfsd_id, STAGE_WRITING, vnode.ino, args.offset, len(args.data))
         if self.policy.early_wakeup:
             self._signal_arrival(vnode.ino)
@@ -140,8 +153,10 @@ class GatheringWritePath:
         ioflags = (
             IO_SYNC | IO_DATAONLY if self.server.ufs.is_accelerated else IO_DELAYDATA
         )
+        lock_requested = self.env.now
         with vnode.lock.request() as grant:
             yield grant
+            self.server.emit_span(trace, PHASE_VNODE_WAIT, lock_requested, ino=vnode.ino)
             try:
                 yield from vnode.vop_write(args.offset, args.data, ioflags)
             except FsError as exc:
@@ -158,6 +173,7 @@ class GatheringWritePath:
                     client=call.client,
                     enqueued_at=self.env.now,
                     data=args.data,
+                    trace=trace,
                 )
             )
 
@@ -185,6 +201,7 @@ class GatheringWritePath:
                     break
                 procrastinations += 1
                 self.stats.procrastinations.add(1)
+                nap_started = self.env.now
                 if self.policy.early_wakeup:
                     # Sleep, but let the arrival of another write for this
                     # file cut the nap short.
@@ -192,6 +209,9 @@ class GatheringWritePath:
                     yield self.env.any_of([self.env.timeout(self.interval), arrival])
                 else:
                     yield self.env.timeout(self.interval)
+                self.server.emit_span(
+                    trace, PHASE_PROCRASTINATE, nap_started, nap=procrastinations
+                )
 
             # Become the metadata writer and assume responsibility for this
             # file.  The lock stays held: writes arriving during the flush
@@ -227,6 +247,7 @@ class GatheringWritePath:
             # A racing flusher (or the watchdog) already owned this batch —
             # including our own descriptor, whose reply it sent.
             return
+        flush_started = self.env.now
         extent = (
             min(d.offset for d in descriptors),
             max(d.end for d in descriptors),
@@ -261,8 +282,23 @@ class GatheringWritePath:
                 descriptor.data,
                 require_content=not superseded,
             )
+        stable_at = self.env.now
+        batch = len(descriptors)
         for descriptor in ordered:
             yield from self.server.reply(descriptor.handle, "ok", fattr)
+            self.server.emit_span(
+                descriptor.trace,
+                PHASE_COMMIT,
+                flush_started,
+                end=stable_at,
+                ino=vnode.ino,
+                bytes=descriptor.length,
+                batch=batch,
+            )
+            self.server.emit_span(
+                descriptor.trace, PHASE_PARKED, descriptor.enqueued_at, end=stable_at
+            )
+            self.server.emit_span(descriptor.trace, PHASE_REPLY, stable_at)
         self.stats.batches.add(1)
         self.stats.batch_size.observe(len(descriptors))
         if self.learned is not None:

@@ -19,8 +19,14 @@ from repro.core.write_queue import WriteDescriptor, WriteQueueRegistry
 from repro.fs.ufs import FsError
 from repro.fs.vfs import FWRITE, FWRITE_METADATA, IO_DELAYDATA
 from repro.nfs.protocol import Fattr
+from repro.obs import (
+    PHASE_COMMIT,
+    PHASE_PARKED,
+    PHASE_REPLY,
+    PHASE_VNODE_WAIT,
+    registry_for,
+)
 from repro.rpc.server import REPLY_DONE, REPLY_PENDING, TransportHandle
-from repro.sim import Counter, Tally
 
 __all__ = ["SivaWritePath"]
 
@@ -33,8 +39,9 @@ class SivaWritePath:
         self.env = server.env
         self.queues = WriteQueueRegistry()
         self._leader_active: Dict[int, bool] = {}
-        self.writes = Counter(server.env, "siva.writes")
-        self.batch_size = Tally("siva.batch_size", keep_samples=True)
+        metrics = registry_for(server.env)
+        self.writes = metrics.counter(f"{server.host}.siva.writes")
+        self.batch_size = metrics.tally(f"{server.host}.siva.batch_size", keep_samples=True)
 
     def handle(self, nfsd_id: int, handle: TransportHandle) -> Generator:
         args = handle.call.args
@@ -44,6 +51,7 @@ class SivaWritePath:
             yield from self.server.reply(handle, exc.code, None)
             return REPLY_DONE
         self.writes.add(1)
+        trace = self.server.trace_of(handle)
         queue = self.queues.for_vnode(vnode)
         descriptor = WriteDescriptor(
             handle=handle,
@@ -52,9 +60,12 @@ class SivaWritePath:
             client=handle.call.client,
             enqueued_at=self.env.now,
             data=args.data,
+            trace=trace,
         )
+        lock_requested = self.env.now
         with vnode.lock.request() as grant:
             yield grant
+            self.server.emit_span(trace, PHASE_VNODE_WAIT, lock_requested, ino=vnode.ino)
             try:
                 yield from vnode.vop_write(args.offset, args.data, IO_DELAYDATA)
             except FsError as exc:
@@ -69,6 +80,7 @@ class SivaWritePath:
 
         # We are the leader: our own data write *is* the latency device.
         self._leader_active[vnode.ino] = True
+        flush_started = self.env.now
         try:
             yield from vnode.vop_syncdata(args.offset, args.offset + len(args.data))
         finally:
@@ -84,6 +96,8 @@ class SivaWritePath:
         if vnode.inode.inode_dirty or vnode.inode.indirect_dirty:
             yield from vnode.vop_fsync(FWRITE | FWRITE_METADATA)
         fattr = Fattr.from_inode(vnode.inode)
+        stable_at = self.env.now
+        batch = len(descriptors)
         crash_time = getattr(self.server, "last_crash_time", -1.0)
         for position, parked in enumerate(descriptors):
             if parked.handle.acquired_at > crash_time:
@@ -95,5 +109,18 @@ class SivaWritePath:
                     vnode, parked.offset, parked.data, require_content=not superseded
                 )
             yield from self.server.reply(parked.handle, "ok", fattr)
+            self.server.emit_span(
+                parked.trace,
+                PHASE_COMMIT,
+                flush_started,
+                end=stable_at,
+                ino=vnode.ino,
+                bytes=parked.length,
+                batch=batch,
+            )
+            self.server.emit_span(
+                parked.trace, PHASE_PARKED, parked.enqueued_at, end=stable_at
+            )
+            self.server.emit_span(parked.trace, PHASE_REPLY, stable_at)
         self.batch_size.observe(len(descriptors))
         return REPLY_DONE

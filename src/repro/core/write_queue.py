@@ -9,7 +9,7 @@ shared metadata update and sends all pending replies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.rpc.server import TransportHandle
 
@@ -28,6 +28,10 @@ class WriteDescriptor:
     #: Bytes as received; kept so the stable-storage invariant can be
     #: checked against the durable image at reply time.
     data: Optional[bytes] = field(default=None, repr=False)
+    #: Observability trace of the parked request; the metadata writer
+    #: (possibly a different nfsd, after the handle is released) emits the
+    #: commit/parked/reply spans from it.
+    trace: Any = field(default=None, repr=False)
 
     @property
     def end(self) -> int:

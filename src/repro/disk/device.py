@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.disk.model import DiskModel, DiskSpec
 from repro.disk.stats import IoStats
+from repro.obs import PHASE_DISK_IO, collector_for
 from repro.sim import Environment, Event
 
 __all__ = ["IoRequest", "Storage", "DiskDevice", "SCHEDULER_FIFO", "SCHEDULER_ELEVATOR"]
@@ -31,6 +32,8 @@ class IoRequest:
     kind: str = "data"
     #: Completion event, filled in by the device.
     done: Optional[Event] = field(default=None, repr=False)
+    #: Simulation time the request entered the device queue.
+    queued_at: float = field(default=0.0, compare=False)
 
     def __post_init__(self) -> None:
         if self.nbytes <= 0:
@@ -89,6 +92,7 @@ class DiskDevice(Storage):
         if scheduler not in (SCHEDULER_FIFO, SCHEDULER_ELEVATOR):
             raise ValueError(f"unknown scheduler {scheduler!r}")
         super().__init__(env, name or spec.name)
+        self.obs = collector_for(env)
         self.spec = spec
         self.scheduler = scheduler
         self.model = DiskModel(spec)
@@ -100,6 +104,7 @@ class DiskDevice(Storage):
     def submit(self, offset: int, nbytes: int, is_write: bool = True, kind: str = "data") -> Event:
         request = IoRequest(offset=offset, nbytes=nbytes, is_write=is_write, kind=kind)
         request.done = self.env.event()
+        request.queued_at = self.env.now
         self._in_flight += 1
         self._pending.append(request)
         if not self._signal.triggered:
@@ -126,9 +131,21 @@ class DiskDevice(Storage):
                 yield self._signal
                 continue
             request = self._pick()
+            service_started = self.env.now
             self.stats.busy.begin()
             yield self.env.timeout(self.model.service_time(request.offset, request.nbytes))
             self.stats.busy.end()
             self.stats.record(request.nbytes, request.is_write, request.kind)
             self._in_flight -= 1
+            if self.obs.enabled:
+                self.obs.emit(
+                    PHASE_DISK_IO,
+                    self.name,
+                    service_started,
+                    self.env.now,
+                    kind=request.kind,
+                    bytes=request.nbytes,
+                    is_write=request.is_write,
+                    queued_at=request.queued_at,
+                )
             request.done.succeed(request)

@@ -10,16 +10,27 @@ from repro.experiments.laddis_curves import (
     run_curve,
 )
 from repro.experiments.results import score_series, table_to_dict
+from repro.experiments.runner import EXPERIMENT_KINDS, ExperimentSpec, run
 from repro.experiments.sweep import sweep, sweepable_fields
 from repro.experiments.tables import PAPER, TABLES, TableResult, TableSpec, run_table
 from repro.experiments.testbed import Testbed, TestbedConfig, build_testbed
-from repro.experiments.trace import TraceEvent, figure1, render_timeline, trace_filecopy
+from repro.experiments.trace import (
+    TraceEvent,
+    events_from_spans,
+    figure1,
+    render_timeline,
+    trace_filecopy,
+)
 
 __all__ = [
     "TestbedConfig",
     "Testbed",
     "build_testbed",
+    "ExperimentSpec",
+    "run",
+    "EXPERIMENT_KINDS",
     "run_filecopy",
+    "events_from_spans",
     "TableSpec",
     "TableResult",
     "TABLES",

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.experiments.testbed import Testbed, TestbedConfig
 from repro.metrics.collect import FileCopyMetrics
+from repro.obs import PercentileSummary
 from repro.workload.sequential import write_file
 
 __all__ = ["run_filecopy"]
@@ -40,6 +39,11 @@ def run_filecopy(
         )
     total_bytes, total_transactions = testbed.disk_stats_totals()
     gather_stats = getattr(testbed.server.write_path, "stats", None)
+    phases = None
+    if testbed.collector is not None:
+        summary = PercentileSummary()
+        summary.consume(testbed.collector.spans)
+        phases = summary.table()
     return FileCopyMetrics(
         label=f"{config.netspec.name}"
         f"{'+presto' if config.presto_bytes else ''}"
@@ -58,4 +62,13 @@ def run_filecopy(
         procrastinations=(
             gather_stats.procrastinations.value if gather_stats else None
         ),
+        handoffs_nfsd=(gather_stats.handoffs_nfsd.value if gather_stats else None),
+        handoffs_mbuf=(gather_stats.handoffs_mbuf.value if gather_stats else None),
+        watchdog_sweeps=(
+            gather_stats.watchdog_sweeps.value if gather_stats else None
+        ),
+        learned_skips=(
+            gather_stats.skipped_procrastinations.value if gather_stats else None
+        ),
+        phases=phases,
     )

@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 __all__ = ["SeriesFidelity", "score_series", "table_to_dict", "save_json", "VERDICTS"]
 

@@ -1,0 +1,98 @@
+"""One front door for the experiment drivers: ``run(ExperimentSpec)``.
+
+The individual drivers (:func:`~repro.experiments.filecopy.run_filecopy`,
+:func:`~repro.experiments.tables.run_table`,
+:func:`~repro.experiments.laddis_curves.run_curve`,
+:func:`~repro.experiments.sweep.sweep`,
+:func:`~repro.experiments.trace.figure1`) remain importable, but callers —
+the CLI above all — describe *what* to run with an :class:`ExperimentSpec`
+and let :func:`run` dispatch::
+
+    from repro.experiments import ExperimentSpec, run
+    metrics = run(ExperimentSpec(kind="copy",
+                                 config=TestbedConfig(write_path="gather")))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.experiments.filecopy import run_filecopy
+from repro.experiments.laddis_curves import run_curve
+from repro.experiments.sweep import sweep
+from repro.experiments.tables import run_table
+from repro.experiments.testbed import TestbedConfig
+from repro.experiments.trace import figure1
+from repro.server.config import WritePath
+
+__all__ = ["ExperimentSpec", "run", "EXPERIMENT_KINDS"]
+
+EXPERIMENT_KINDS = ("copy", "table", "curve", "sweep", "trace")
+
+
+@dataclass
+class ExperimentSpec:
+    """A declarative description of one experiment run.
+
+    ``kind`` selects the driver; the other fields parameterize it.  Fields
+    irrelevant to the chosen kind are ignored:
+
+    * ``copy``  — ``config`` (required), ``file_mb``, ``think_time``
+    * ``table`` — ``table`` (required, 1-6), ``file_mb``
+    * ``curve`` — ``write_path``, ``presto``, ``loads``, ``duration``
+    * ``sweep`` — ``config`` (required), ``sweep_field`` (required),
+      ``values`` (required), ``file_mb``
+    * ``trace`` — ``file_kb``
+    """
+
+    kind: str
+    config: Optional[TestbedConfig] = None
+    file_mb: float = 10.0
+    think_time: float = 0.0005
+    table: Optional[int] = None
+    write_path: Union[WritePath, str] = WritePath.STANDARD
+    presto: bool = False
+    loads: Sequence[float] = (150.0, 300.0, 450.0, 550.0, 650.0)
+    duration: float = 3.0
+    sweep_field: str = ""
+    values: Sequence = field(default_factory=tuple)
+    file_kb: int = 256
+
+    def __post_init__(self) -> None:
+        if self.kind not in EXPERIMENT_KINDS:
+            raise ValueError(
+                f"unknown experiment kind {self.kind!r}; "
+                f"expected one of {', '.join(EXPERIMENT_KINDS)}"
+            )
+        self.write_path = WritePath.coerce(self.write_path)
+
+
+def run(spec: ExperimentSpec):
+    """Run the experiment ``spec`` describes; returns the driver's result.
+
+    ``copy`` -> :class:`~repro.metrics.collect.FileCopyMetrics`;
+    ``table`` -> :class:`~repro.experiments.tables.TableResult`;
+    ``curve`` -> :class:`~repro.experiments.laddis_curves.LaddisCurve`;
+    ``sweep`` -> list of FileCopyMetrics; ``trace`` -> the figure1 dict.
+    """
+    if spec.kind == "copy":
+        if spec.config is None:
+            raise ValueError("kind='copy' needs spec.config")
+        return run_filecopy(spec.config, file_mb=spec.file_mb, think_time=spec.think_time)
+    if spec.kind == "table":
+        if spec.table is None:
+            raise ValueError("kind='table' needs spec.table")
+        return run_table(spec.table, file_mb=spec.file_mb)
+    if spec.kind == "curve":
+        return run_curve(
+            str(spec.write_path),
+            presto=spec.presto,
+            loads=list(spec.loads),
+            duration=spec.duration,
+        )
+    if spec.kind == "sweep":
+        if spec.config is None or not spec.sweep_field or not spec.values:
+            raise ValueError("kind='sweep' needs spec.config, sweep_field, values")
+        return sweep(spec.config, spec.sweep_field, list(spec.values), file_mb=spec.file_mb)
+    return figure1(file_kb=spec.file_kb)

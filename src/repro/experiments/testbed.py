@@ -19,9 +19,10 @@ from repro.net.segment import Segment
 from repro.net.spec import ETHERNET, NetSpec
 from repro.nfs.client import NfsClient
 from repro.nvram.presto import PrestoCache
+from repro.obs import RecordingCollector, install
 from repro.rpc.client import RpcClient
 from repro.server.base import NfsServer
-from repro.server.config import ServerConfig
+from repro.server.config import ServerConfig, WritePath
 from repro.sim import Environment
 
 __all__ = ["TestbedConfig", "Testbed", "build_testbed"]
@@ -32,7 +33,7 @@ class TestbedConfig:
     """A full experiment configuration."""
 
     netspec: NetSpec = ETHERNET
-    write_path: str = "standard"
+    write_path: WritePath = WritePath.STANDARD
     nbiods: int = 4
     #: NVRAM accelerator: None = off, else capacity in bytes.
     presto_bytes: Optional[int] = None
@@ -44,6 +45,12 @@ class TestbedConfig:
     gather_policy: GatherPolicy = field(default_factory=GatherPolicy)
     client_write_cpu: float = 0.0003
     seed: int = 0
+    #: When True, the testbed installs a :class:`~repro.obs.RecordingCollector`
+    #: so every layer emits lifecycle spans (off by default: zero cost).
+    tracing: bool = False
+
+    def __post_init__(self) -> None:
+        self.write_path = WritePath.coerce(self.write_path)
 
     def variant(self, **changes) -> "TestbedConfig":
         """A copy with some fields replaced (sweeps build on this)."""
@@ -56,6 +63,11 @@ class Testbed:
     def __init__(self, config: TestbedConfig) -> None:
         self.config = config
         self.env = Environment()
+        #: Span collector; a shared no-op unless ``config.tracing``.  Must be
+        #: installed before any component is built — they cache it.
+        self.collector = RecordingCollector() if config.tracing else None
+        if self.collector is not None:
+            install(self.env, self.collector)
         self.segment = Segment(self.env, config.netspec, seed=config.seed)
         self.disks: List[DiskDevice] = [
             DiskDevice(self.env, config.disk_spec, name=f"{config.disk_spec.name}-{i}")

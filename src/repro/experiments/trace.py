@@ -6,22 +6,27 @@ and gathering servers with 4 biods, after the client is >100K into the
 file.  The gathering side should show the paper's signature: a burst of
 "N Write Replies" after one clustered data write and one metadata update,
 instead of a data+metadata pair per write.
+
+The timeline is a pure *view* over the :mod:`repro.obs` span stream: the
+testbed is built with ``tracing=True`` and the events are derived from the
+recorded ``rpc.call`` and ``disk.io`` spans — no layer is monkeypatched.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro.experiments.testbed import Testbed, TestbedConfig
 from repro.net.spec import FDDI
 from repro.nfs.protocol import PROC_WRITE
-from repro.rpc.messages import RpcCall, RpcReply
+from repro.obs import PHASE_DISK_IO, PHASE_RPC, Span
 from repro.workload.sequential import write_file
 
 __all__ = [
     "TraceEvent",
     "trace_filecopy",
+    "events_from_spans",
     "render_timeline",
     "render_timeline_svg",
     "figure1",
@@ -37,6 +42,45 @@ class TraceEvent:
     label: str
 
 
+def events_from_spans(spans: Iterable[Span]) -> List[TraceEvent]:
+    """Project the Figure 1 events out of a recorded span stream.
+
+    * an ``rpc.call`` span for a WRITE yields "8K Write @NK" at its start
+      (the request leaving the client) and "Write Reply" at its end;
+    * a ``disk.io`` span yields one "NK <kind> to disk" event at the time
+      the transaction entered the device queue.
+    """
+    keyed = []
+    for span in spans:
+        if span.name == PHASE_RPC and span.attrs.get("proc") == PROC_WRITE:
+            offset = int(span.attrs.get("offset", 0))
+            keyed.append(
+                (
+                    span.start,
+                    span.seq,
+                    TraceEvent(
+                        span.start * 1000.0, "client", f"8K Write @{offset // 1024}K"
+                    ),
+                )
+            )
+            keyed.append(
+                (span.end, span.seq, TraceEvent(span.end * 1000.0, "client", "Write Reply"))
+            )
+        elif span.name == PHASE_DISK_IO:
+            queued_at = span.attrs.get("queued_at", span.start)
+            nbytes = int(span.attrs.get("bytes", 0))
+            kind = span.attrs.get("kind", "data")
+            keyed.append(
+                (
+                    queued_at,
+                    span.seq,
+                    TraceEvent(queued_at * 1000.0, "disk", f"{nbytes // 1024}K {kind} to disk"),
+                )
+            )
+    keyed.sort(key=lambda item: (item[0], item[1]))
+    return [event for _time, _seq, event in keyed]
+
+
 def trace_filecopy(
     write_path: str,
     nbiods: int = 4,
@@ -44,57 +88,17 @@ def trace_filecopy(
     netspec=FDDI,
 ) -> List[TraceEvent]:
     """Run a traced file copy; returns all events in time order."""
-    config = TestbedConfig(netspec=netspec, write_path=write_path, nbiods=nbiods)
+    config = TestbedConfig(
+        netspec=netspec, write_path=write_path, nbiods=nbiods, tracing=True
+    )
     testbed = Testbed(config)
     client = testbed.add_client()
     env = testbed.env
-    events: List[TraceEvent] = []
-
-    # Hook client -> server write requests at the client endpoint.
-    client_endpoint = client.rpc.endpoint
-    original_send = client_endpoint.send
-
-    def traced_send(dst, payload, size):
-        if isinstance(payload, RpcCall) and payload.proc == PROC_WRITE:
-            offset = payload.args.offset
-            events.append(
-                TraceEvent(env.now * 1000.0, "client", f"8K Write @{offset // 1024}K")
-            )
-        original_send(dst, payload, size)
-
-    client_endpoint.send = traced_send
-
-    # Hook replies arriving back at the client.
-    original_deliver = client_endpoint.deliver
-
-    def traced_deliver(datagram):
-        if isinstance(datagram.payload, RpcReply):
-            events.append(TraceEvent(env.now * 1000.0, "client", "Write Reply"))
-        return original_deliver(datagram)
-
-    client_endpoint.deliver = traced_deliver
-
-    # Hook every spindle.
-    for disk in testbed.disks:
-        original_submit = disk.submit
-
-        def traced_submit(offset, nbytes, is_write=True, kind="data", _orig=original_submit):
-            events.append(
-                TraceEvent(
-                    env.now * 1000.0,
-                    "disk",
-                    f"{nbytes // 1024}K {kind} to disk",
-                )
-            )
-            return _orig(offset, nbytes, is_write, kind)
-
-        disk.submit = traced_submit
-
     proc = env.process(
         write_file(env, client, "traced", file_kb * 1024), name="trace-copy"
     )
     env.run(until=proc)
-    return events
+    return events_from_spans(testbed.collector.spans)
 
 
 def render_timeline(

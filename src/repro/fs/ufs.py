@@ -26,11 +26,11 @@ says they cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional
 
 from repro.disk.device import Storage
 from repro.fs.allocator import Allocator, NoSpace
-from repro.fs.buffer_cache import BufferCache, FlushRun
+from repro.fs.buffer_cache import BufferCache
 from repro.fs.inode import NDIRECT, FileType, Inode
 from repro.sim import AllOf, Environment, Event
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Generator, Optional, Tuple
 
 from repro.fs.inode import FileType, Inode
-from repro.fs.ufs import FsError, Ufs
+from repro.fs.ufs import Ufs
 from repro.sim import Environment, Resource
 
 __all__ = [

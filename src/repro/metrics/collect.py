@@ -27,6 +27,15 @@ class FileCopyMetrics:
     mean_batch_size: Optional[float] = None
     gather_success_rate: Optional[float] = None
     procrastinations: Optional[float] = None
+    #: §6 handoff accounting: why each gathered batch stopped waiting.
+    handoffs_nfsd: Optional[int] = None
+    handoffs_mbuf: Optional[int] = None
+    watchdog_sweeps: Optional[int] = None
+    learned_skips: Optional[int] = None
+    #: Per-phase latency percentiles from the span stream, keyed by phase
+    #: name -> {count, mean, p50, p95, p99, max} in seconds.  Only present
+    #: when the run was traced (``TestbedConfig.tracing``).
+    phases: Optional[Dict[str, Dict[str, float]]] = None
     extra: Dict[str, float] = field(default_factory=dict)
 
     def row(self) -> Dict[str, float]:
@@ -37,3 +46,35 @@ class FileCopyMetrics:
             "server disk (KB/sec)": round(self.disk_kb_per_sec),
             "server disk (trans/sec)": round(self.disk_trans_per_sec),
         }
+
+    def to_json(self) -> Dict[str, object]:
+        """A machine-readable record; None-valued optionals are omitted."""
+        payload: Dict[str, object] = {
+            "label": self.label,
+            "nbiods": self.nbiods,
+            "client_kb_per_sec": round(self.client_kb_per_sec, 1),
+            "server_cpu_pct": round(self.server_cpu_pct, 2),
+            "disk_kb_per_sec": round(self.disk_kb_per_sec, 1),
+            "disk_trans_per_sec": round(self.disk_trans_per_sec, 2),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+        optionals = {
+            "mean_batch_size": self.mean_batch_size,
+            "gather_success_rate": self.gather_success_rate,
+            "procrastinations": self.procrastinations,
+            "handoffs_nfsd": self.handoffs_nfsd,
+            "handoffs_mbuf": self.handoffs_mbuf,
+            "watchdog_sweeps": self.watchdog_sweeps,
+            "learned_skips": self.learned_skips,
+        }
+        for name, value in optionals.items():
+            if value is not None:
+                payload[name] = round(value, 4) if isinstance(value, float) else value
+        if self.phases is not None:
+            payload["phases"] = {
+                phase: {key: round(value, 6) for key, value in stats.items()}
+                for phase, stats in self.phases.items()
+            }
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload

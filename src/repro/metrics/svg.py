@@ -9,7 +9,7 @@ SVG is clearer than a dependency.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 __all__ = ["LineChart", "Series"]

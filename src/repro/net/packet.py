@@ -30,6 +30,9 @@ class Datagram:
     fragments: int = 1
     #: Monotonic id, for deterministic tie-breaking and tracing.
     seq: int = field(default_factory=lambda: next(_sequence))
+    #: When this datagram entered the destination's socket buffer (set on
+    #: delivery; socket-buffer residency spans are measured from it).
+    arrived_at: float = field(default=0.0, compare=False)
 
     def __post_init__(self) -> None:
         if self.size <= 0:

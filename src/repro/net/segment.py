@@ -13,12 +13,13 @@ an overloaded server sheds load back onto client retransmission (§4.2).
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.net.packet import Datagram
 from repro.net.spec import NetSpec
 from repro.net.udp import UdpEndpoint
-from repro.sim import Counter, Environment, Resource, Store, UtilizationMeter
+from repro.obs import PHASE_WIRE, collector_for, registry_for
+from repro.sim import Environment, Resource, Store
 
 __all__ = ["Segment"]
 
@@ -44,11 +45,13 @@ class Segment:
         self._medium = Resource(env, capacity=1)
         self._endpoints: Dict[str, UdpEndpoint] = {}
         self._tx_queues: Dict[str, object] = {}
-        self.utilization = UtilizationMeter(env, f"{self.name}.wire")
-        self.delivered = Counter(env, f"{self.name}.delivered")
-        self.dropped = Counter(env, f"{self.name}.dropped")
-        self.lost = Counter(env, f"{self.name}.lost")
-        self.bytes_moved = Counter(env, f"{self.name}.bytes")
+        self.obs = collector_for(env)
+        metrics = registry_for(env)
+        self.utilization = metrics.utilization(f"{self.name}.wire")
+        self.delivered = metrics.counter(f"{self.name}.delivered")
+        self.dropped = metrics.counter(f"{self.name}.dropped")
+        self.lost = metrics.counter(f"{self.name}.lost")
+        self.bytes_moved = metrics.counter(f"{self.name}.bytes")
 
     def attach(self, host: str, buffer_bytes: int = 256 * 1024) -> UdpEndpoint:
         """Create an endpoint for ``host`` with a bounded socket buffer."""
@@ -88,14 +91,28 @@ class Segment:
         frames = datagram.fragments
         frame_payload = -(-datagram.size // frames)  # even-ish split
         lost = False
+        trace = getattr(datagram.payload, "trace", None) if self.obs.enabled else None
         for index in range(frames):
             payload = min(frame_payload, datagram.size - index * frame_payload)
             wire_bytes = payload + self.spec.frame_overhead
             with self._medium.request() as grant:
                 yield grant
                 self.utilization.begin()
+                held_at = self.env.now
                 yield self.env.timeout(wire_bytes * 8.0 / self.spec.bandwidth_bps)
                 self.utilization.end()
+                if trace is not None:
+                    self.obs.emit(
+                        PHASE_WIRE,
+                        self.name,
+                        held_at,
+                        self.env.now,
+                        trace_id=trace.trace_id,
+                        frame=index,
+                        frames=frames,
+                        bytes=wire_bytes,
+                        src=datagram.src,
+                    )
             self.bytes_moved.add(wire_bytes)
             if self.loss_rate and self._rng.random() < self.loss_rate:
                 lost = True  # keep transmitting; the medium time is spent

@@ -37,6 +37,7 @@ class SocketBuffer:
         """Queue a datagram, or return False (drop) if it does not fit."""
         if self.used_bytes + datagram.size > self.capacity_bytes:
             return False
+        datagram.arrived_at = self.env.now
         self.items.append(datagram)
         self.used_bytes += datagram.size
         self._dispatch()

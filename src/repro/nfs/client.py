@@ -17,7 +17,7 @@ Setting ``nbiods=0`` yields the "dumb PC" single-threaded client of §6.10.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Generator, List, Optional
 
 from repro.fs.vfs import FileHandle
 from repro.nfs.protocol import (
@@ -36,7 +36,6 @@ from repro.nfs.protocol import (
     PROC_WRITE,
     WEIGHT_OF,
     CreateArgs,
-    Fattr,
     LookupArgs,
     NfsError,
     ReadArgs,
@@ -48,8 +47,9 @@ from repro.nfs.protocol import (
     call_size,
     reply_size,
 )
+from repro.obs import registry_for
 from repro.rpc.client import RpcClient
-from repro.sim import AllOf, Counter, Environment, Event, Tally
+from repro.sim import AllOf, Environment, Event
 
 __all__ = ["NfsClient", "OpenFile"]
 
@@ -112,11 +112,13 @@ class NfsClient:
         #: Per-write client-side kernel work before the request hits the wire.
         self.write_cpu = write_cpu
         self._busy_biods = 0
-        self.bytes_written = Counter(env, "nfs.bytes_written")
-        self.write_latency = Tally("nfs.write_latency")
-        self.biod_handoffs = Counter(env, "nfs.biod_handoffs")
-        self.blocked_writes = Counter(env, "nfs.blocked_writes")
-        self.readahead_hits = Counter(env, "nfs.readahead_hits")
+        metrics = registry_for(env)
+        prefix = f"nfs.{rpc.endpoint.host}"
+        self.bytes_written = metrics.counter(f"{prefix}.bytes_written")
+        self.write_latency = metrics.tally(f"{prefix}.write_latency")
+        self.biod_handoffs = metrics.counter(f"{prefix}.biod_handoffs")
+        self.blocked_writes = metrics.counter(f"{prefix}.blocked_writes")
+        self.readahead_hits = metrics.counter(f"{prefix}.readahead_hits")
         self.root_fhandle: FileHandle = (2, 0)
 
     # -- generic RPC wrapper ---------------------------------------------------

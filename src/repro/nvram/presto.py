@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.disk.device import Storage
+from repro.obs import PHASE_NVRAM_COPY, collector_for
 from repro.sim import Container, Environment, Event
 
 __all__ = ["PrestoCache"]
@@ -69,6 +70,7 @@ class PrestoCache(Storage):
         if drain_max_age <= 0:
             raise ValueError(f"drain_max_age must be positive, got {drain_max_age}")
         super().__init__(env, name)
+        self.obs = collector_for(env)
         self.backing = backing
         self.capacity = capacity
         self.accept_limit = accept_limit
@@ -155,8 +157,19 @@ class PrestoCache(Storage):
     # -- internals ----------------------------------------------------------
 
     def _accept(self, done: Event, offset: int, nbytes: int, kind: str):
+        accepted_at = self.env.now
         yield self._free.get(nbytes)
         yield self.env.timeout(self.copy_overhead + nbytes / self.copy_rate)
+        if self.obs.enabled:
+            self.obs.emit(
+                PHASE_NVRAM_COPY,
+                self.name,
+                accepted_at,
+                self.env.now,
+                kind=kind,
+                bytes=nbytes,
+                offset=offset,
+            )
         # Space accounting is backed by the pending (_dirty) set only: the
         # extent under drain frees its own reservation when the flush ends,
         # so a rewrite overlapping it genuinely occupies new space.

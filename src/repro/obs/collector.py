@@ -1,0 +1,123 @@
+"""Span collectors: where every instrumented layer sends its spans.
+
+The collector is looked up once, at component construction time, via
+:func:`collector_for` — no constructor threading.  By default every
+environment carries the shared :data:`NULL_COLLECTOR`, whose ``emit`` is a
+no-op, so an untraced simulation pays nothing but a predicate check on its
+hot paths and produces bit-identical results with tracing on or off
+(spans only *read* ``env.now``; they never schedule events).
+
+:func:`install` attaches a real collector to an environment.  It must run
+before the components under observation are built (the
+:class:`~repro.experiments.testbed.Testbed` does this when its config asks
+for tracing).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.obs.span import Span
+
+__all__ = [
+    "NullCollector",
+    "RecordingCollector",
+    "NULL_COLLECTOR",
+    "install",
+    "collector_for",
+]
+
+
+class NullCollector:
+    """The zero-cost default: accepts spans and discards them."""
+
+    #: Instrumented layers guard span bookkeeping on this flag.
+    enabled = False
+
+    def emit(
+        self,
+        name: str,
+        actor: str,
+        start: float,
+        end: float,
+        trace_id: Optional[int] = None,
+        **attrs: Any,
+    ) -> None:
+        """Discard a span."""
+
+    def subscribe(self, callback: Callable[[Span], None]) -> None:
+        raise RuntimeError(
+            "cannot subscribe to the null collector; install() a "
+            "RecordingCollector before building the testbed"
+        )
+
+
+class RecordingCollector:
+    """Collects every emitted span, in deterministic emission order.
+
+    Exporters subscribe with :meth:`subscribe`; each closed span is pushed
+    to every subscriber as it is emitted, and also kept in :attr:`spans`
+    for after-the-fact analysis (the Figure 1 renderer, golden tests).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._subscribers: List[Callable[[Span], None]] = []
+        self._seq = 0
+
+    def emit(
+        self,
+        name: str,
+        actor: str,
+        start: float,
+        end: float,
+        trace_id: Optional[int] = None,
+        **attrs: Any,
+    ) -> None:
+        """Close and record one span."""
+        self._seq += 1
+        span = Span(
+            name=name,
+            actor=actor,
+            start=start,
+            end=end,
+            trace_id=trace_id,
+            attrs=attrs,
+            seq=self._seq,
+        )
+        self.spans.append(span)
+        for subscriber in self._subscribers:
+            subscriber(span)
+
+    def subscribe(self, callback: Callable[[Span], None]) -> None:
+        """Register ``callback`` to receive every span as it closes."""
+        self._subscribers.append(callback)
+
+    def by_name(self, name: str) -> List[Span]:
+        """All recorded spans with phase ``name``, in emission order."""
+        return [span for span in self.spans if span.name == name]
+
+    def for_trace(self, trace_id: int) -> List[Span]:
+        """All recorded spans belonging to one RPC, in emission order."""
+        return [span for span in self.spans if span.trace_id == trace_id]
+
+
+#: The shared do-nothing collector every untraced environment uses.
+NULL_COLLECTOR = NullCollector()
+
+
+def install(env, collector) -> Any:
+    """Attach ``collector`` to ``env``; returns the collector.
+
+    Components built afterwards (and looking themselves up via
+    :func:`collector_for`) will emit into it.
+    """
+    env._obs_collector = collector
+    return collector
+
+
+def collector_for(env):
+    """The environment's collector, or the shared null collector."""
+    return getattr(env, "_obs_collector", NULL_COLLECTOR)

@@ -1,0 +1,119 @@
+"""Typed spans: the unit of the observability event stream.
+
+A :class:`Span` is one closed interval of simulated time attributed to a
+*phase* of an RPC's lifecycle (or to a device, for spans with no trace).
+Spans are emitted by the subsystems a request crosses — the client RPC
+layer, the shared medium, the socket buffer, nfsd dispatch, the vnode
+lock, the gathering engine, stable storage, and the reply path — and a
+:class:`Trace` ties together every span belonging to one RPC.
+
+Phase names are dotted, coarse-to-fine, and stable: exporters, the Figure 1
+renderer, and the percentile summaries all key on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "Span",
+    "Trace",
+    "PHASE_RPC",
+    "PHASE_WIRE",
+    "PHASE_SOCKBUF",
+    "PHASE_DISPATCH",
+    "PHASE_VNODE_WAIT",
+    "PHASE_PROCRASTINATE",
+    "PHASE_COMMIT",
+    "PHASE_PARKED",
+    "PHASE_REPLY",
+    "PHASE_DISK_IO",
+    "PHASE_NVRAM_COPY",
+    "RPC_PHASES",
+]
+
+#: Client-side round trip: request leaves the client until its reply lands.
+PHASE_RPC = "rpc.call"
+#: One frame's occupancy of the shared medium (Ethernet / FDDI ring).
+PHASE_WIRE = "net.wire"
+#: Residency in the server's NFS socket buffer (arrival to svc dequeue).
+PHASE_SOCKBUF = "net.sockbuf"
+#: nfsd decode/dispatch CPU (svc dequeue to action-routine entry).
+PHASE_DISPATCH = "server.dispatch"
+#: Wait for the vnode sleep lock (§6.2).
+PHASE_VNODE_WAIT = "server.vnode_wait"
+#: One procrastination nap (§6.8).
+PHASE_PROCRASTINATE = "gather.procrastinate"
+#: Submit-to-stable for this request's data+metadata promise.
+PHASE_COMMIT = "storage.commit"
+#: Parked-reply residency: descriptor enqueue until its reply is sent.
+PHASE_PARKED = "reply.parked"
+#: Stable-to-wire reply delay (includes parked-reply FIFO ordering + CPU).
+PHASE_REPLY = "reply.delay"
+#: One storage-device transaction, submit to completion (no trace).
+PHASE_DISK_IO = "disk.io"
+#: One NVRAM acceptance copy (no trace).
+PHASE_NVRAM_COPY = "nvram.copy"
+
+#: The per-request phases the percentile summary reports by default.
+RPC_PHASES = (
+    PHASE_SOCKBUF,
+    PHASE_DISPATCH,
+    PHASE_VNODE_WAIT,
+    PHASE_PROCRASTINATE,
+    PHASE_COMMIT,
+    PHASE_PARKED,
+    PHASE_REPLY,
+)
+
+
+@dataclass
+class Trace:
+    """Identity carried by one RPC through its whole lifecycle.
+
+    Created client-side when tracing is on and attached to the
+    :class:`~repro.rpc.messages.RpcCall`, so every layer the request
+    crosses can stamp its spans with the same ``trace_id`` (the RPC xid —
+    already globally unique and deterministic).
+    """
+
+    trace_id: int
+    proc: str
+    client: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One closed interval of simulated time in a request's lifecycle."""
+
+    name: str
+    actor: str
+    start: float
+    end: float
+    #: RPC xid this span belongs to; None for device-level spans.
+    trace_id: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    #: Emission index assigned by the collector: a deterministic total
+    #: order even among spans closing at the same instant.
+    seq: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by the JSONL exporter)."""
+        record = {
+            "seq": self.seq,
+            "name": self.name,
+            "actor": self.actor,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record

@@ -15,6 +15,7 @@ import itertools
 from typing import Any, Dict, Generator
 
 from repro.net.udp import UdpEndpoint
+from repro.obs import PHASE_RPC, Trace, collector_for, registry_for
 from repro.rpc.messages import (
     CLASS_HEAVY,
     CLASS_LIGHT,
@@ -22,7 +23,7 @@ from repro.rpc.messages import (
     RpcCall,
     RpcReply,
 )
-from repro.sim import AnyOf, Counter, Environment, Event, Tally
+from repro.sim import AnyOf, Environment, Event
 
 __all__ = ["RpcClient", "RpcTimeoutPolicy"]
 
@@ -85,10 +86,13 @@ class RpcClient:
         self.server = server
         self.policy = policy or RpcTimeoutPolicy()
         self._pending: Dict[int, Event] = {}
-        self.retransmissions = Counter(env, "rpc.retransmissions")
-        self.completed = Counter(env, "rpc.completed")
-        self.duplicate_replies = Counter(env, "rpc.duplicate_replies")
-        self.latency = Tally("rpc.latency")
+        self.obs = collector_for(env)
+        metrics = registry_for(env)
+        prefix = f"rpc.{endpoint.host}"
+        self.retransmissions = metrics.counter(f"{prefix}.retransmissions")
+        self.completed = metrics.counter(f"{prefix}.completed")
+        self.duplicate_replies = metrics.counter(f"{prefix}.duplicate_replies")
+        self.latency = metrics.tally(f"{prefix}.latency")
         env.process(self._receiver(), name=f"rpc-recv:{endpoint.host}")
 
     def call(
@@ -105,6 +109,16 @@ class RpcClient:
         mount, it retries until the server answers.
         """
         xid = next(self._xids)
+        trace = None
+        if self.obs.enabled:
+            attrs = {}
+            offset = getattr(args, "offset", None)
+            if offset is not None:
+                attrs["offset"] = offset
+            data = getattr(args, "data", None)
+            if data is not None:
+                attrs["bytes"] = len(data)
+            trace = Trace(trace_id=xid, proc=proc, client=self.endpoint.host, attrs=attrs)
         call = RpcCall(
             xid=xid,
             proc=proc,
@@ -113,6 +127,7 @@ class RpcClient:
             client=self.endpoint.host,
             reply_size=reply_size,
             weight=weight,
+            trace=trace,
         )
         reply_event = self.env.event()
         self._pending[xid] = reply_event
@@ -133,6 +148,17 @@ class RpcClient:
         self.policy.observe(weight, elapsed)
         self.latency.observe(elapsed)
         self.completed.add(1)
+        if trace is not None:
+            self.obs.emit(
+                PHASE_RPC,
+                self.endpoint.host,
+                started,
+                self.env.now,
+                trace_id=xid,
+                proc=proc,
+                attempts=call.attempt,
+                **trace.attrs,
+            )
         return reply_event.value
 
     def _receiver(self):

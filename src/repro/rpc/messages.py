@@ -39,6 +39,9 @@ class RpcCall:
     weight: str = CLASS_MEDIUM
     #: Transmission counter; >1 marks a retransmission.
     attempt: int = 1
+    #: Observability trace (:class:`repro.obs.span.Trace`) carried through
+    #: every layer this call crosses; None when tracing is off.
+    trace: Any = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.size <= 0:

@@ -15,9 +15,10 @@ from typing import Any, List, Optional
 
 from repro.net.packet import Datagram
 from repro.net.udp import UdpEndpoint
+from repro.obs import PHASE_SOCKBUF, collector_for, registry_for
 from repro.rpc.dupcache import DuplicateRequestCache
 from repro.rpc.messages import RpcCall, RpcReply
-from repro.sim import Counter, Environment
+from repro.sim import Environment
 
 __all__ = ["TransportHandle", "HandleCache", "SvcServer", "REPLY_DONE", "REPLY_PENDING"]
 
@@ -99,10 +100,13 @@ class SvcServer:
         self.endpoint = endpoint
         self.handles = HandleCache()
         self.dup_cache = dup_cache or DuplicateRequestCache(env)
-        self.requests_received = Counter(env, "svc.requests")
-        self.replies_sent = Counter(env, "svc.replies")
-        self.duplicates_dropped = Counter(env, "svc.dup_dropped")
-        self.duplicates_replayed = Counter(env, "svc.dup_replayed")
+        self.obs = collector_for(env)
+        metrics = registry_for(env)
+        prefix = f"svc.{endpoint.host}"
+        self.requests_received = metrics.counter(f"{prefix}.requests")
+        self.replies_sent = metrics.counter(f"{prefix}.replies")
+        self.duplicates_dropped = metrics.counter(f"{prefix}.dup_dropped")
+        self.duplicates_replayed = metrics.counter(f"{prefix}.dup_replayed")
 
     def next_request(self):
         """Wait for the next *fresh* request; duplicates are handled here.
@@ -125,6 +129,15 @@ class SvcServer:
                 continue
             handle = self.handles.acquire()
             handle.load(call, datagram, self.env.now)
+            if self.obs.enabled and call.trace is not None:
+                self.obs.emit(
+                    PHASE_SOCKBUF,
+                    self.endpoint.host,
+                    datagram.arrived_at,
+                    self.env.now,
+                    trace_id=call.trace.trace_id,
+                    proc=call.proc,
+                )
             return handle
 
     def send_reply(self, handle: TransportHandle, status: str, result: Any, size: int = 160) -> None:

@@ -6,6 +6,7 @@ from repro.server.config import (
     WRITE_PATH_SIVA,
     WRITE_PATH_STANDARD,
     ServerConfig,
+    WritePath,
 )
 from repro.server.cpu import Cpu
 from repro.server.standard import StandardWritePath
@@ -14,6 +15,7 @@ __all__ = [
     "NfsServer",
     "StableStorageViolation",
     "ServerConfig",
+    "WritePath",
     "WRITE_PATH_STANDARD",
     "WRITE_PATH_GATHER",
     "WRITE_PATH_SIVA",

@@ -10,7 +10,7 @@ sends the parked reply from a cached transport handle.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional, Tuple
+from typing import Dict, Generator, Optional
 
 from repro.disk.device import Storage
 from repro.fs.ufs import FsError, Ufs
@@ -35,6 +35,13 @@ from repro.nfs.protocol import (
     PROC_WRITE,
     Fattr,
 )
+from repro.obs import (
+    PHASE_DISPATCH,
+    PHASE_REPLY,
+    PHASE_VNODE_WAIT,
+    collector_for,
+    registry_for,
+)
 from repro.rpc.dupcache import DuplicateRequestCache
 from repro.rpc.messages import RPC_HEADER_BYTES
 from repro.rpc.server import REPLY_DONE, SvcServer, TransportHandle
@@ -45,7 +52,7 @@ from repro.server.config import (
 )
 from repro.server.cpu import Cpu
 from repro.server.standard import StandardWritePath
-from repro.sim import Counter, Environment, Tally
+from repro.sim import Counter, Environment
 
 __all__ = ["NfsServer", "StableStorageViolation"]
 
@@ -71,6 +78,8 @@ class NfsServer:
         self.storage = storage
         self.host = host
         self.config = config or ServerConfig()
+        self.obs = collector_for(env)
+        self.metrics = registry_for(env)
         self.endpoint = segment.attach(host, self.config.socket_buffer_bytes)
         self.cpu = Cpu(env, self.config.cpu_cores)
         scale = self.config.cpu_scale
@@ -99,8 +108,8 @@ class NfsServer:
         )
         self.write_path = self._make_write_path()
         self.ops_completed: Dict[str, Counter] = {}
-        self.op_latency = Tally("server.op_latency")
-        self.write_latency = Tally("server.write_latency")
+        self.op_latency = self.metrics.tally(f"{host}.op_latency")
+        self.write_latency = self.metrics.tally(f"{host}.write_latency")
         self.stable_violations: list = []
         self._actions = {
             PROC_GETATTR: self._rfs_getattr,
@@ -141,6 +150,35 @@ class NfsServer:
 
     # -- shared services for write paths --------------------------------------
 
+    def trace_of(self, handle: TransportHandle):
+        """The request's Trace, or None (untraced run, or handle released)."""
+        call = handle.call
+        return getattr(call, "trace", None) if call is not None else None
+
+    def emit_span(
+        self,
+        trace,
+        phase: str,
+        start: float,
+        end: Optional[float] = None,
+        **attrs,
+    ) -> None:
+        """Emit one lifecycle span for ``trace`` (no-op when untraced).
+
+        Capture the trace via :meth:`trace_of` *before* replying — sending
+        the reply releases the transport handle and with it the call.
+        """
+        if trace is None or not self.obs.enabled:
+            return
+        self.obs.emit(
+            phase,
+            self.host,
+            start,
+            self.env.now if end is None else end,
+            trace_id=trace.trace_id,
+            **attrs,
+        )
+
     def reply(
         self,
         handle: TransportHandle,
@@ -166,7 +204,9 @@ class NfsServer:
             self.write_latency.observe(latency)
         counter = self.ops_completed.get(proc)
         if counter is None:
-            counter = self.ops_completed[proc] = Counter(self.env, f"ops.{proc}")
+            counter = self.ops_completed[proc] = self.metrics.counter(
+                f"{self.host}.ops.{proc}"
+            )
         counter.add(1)
         self.svc.send_reply(handle, status, result, size)
 
@@ -198,12 +238,16 @@ class NfsServer:
         while True:
             handle = yield from self.svc.next_request()
             datagram = handle.datagram
+            decode_started = self.env.now
             yield from self.cpu.consume(
                 (
                     self.config.rpc_dispatch_cpu
                     + datagram.fragments * self.spec.cpu_per_frame
                 )
                 * self.config.cpu_scale
+            )
+            self.emit_span(
+                self.trace_of(handle), PHASE_DISPATCH, decode_started, nfsd=nfsd_id
             )
             yield from self._dispatch(nfsd_id, handle)
 
@@ -294,15 +338,20 @@ class NfsServer:
         except FsError as exc:
             yield from self.reply(handle, exc.code, None)
             return REPLY_DONE
+        trace = self.trace_of(handle)
+        lock_requested = self.env.now
         with vnode.lock.request() as grant:
             yield grant
+            self.emit_span(trace, PHASE_VNODE_WAIT, lock_requested, ino=vnode.ino)
             try:
                 yield from vnode.vop_write(args.offset, args.data, IO_DELAYDATA)
             except FsError as exc:
                 yield from self.reply(handle, exc.code, None)
                 return REPLY_DONE
             fattr = Fattr.from_inode(vnode.inode)
+        cached_at = self.env.now
         yield from self.reply(handle, "ok", (fattr, self.boot_verifier))
+        self.emit_span(trace, PHASE_REPLY, cached_at, unstable=True)
         return REPLY_DONE
 
     def _rfs_commit(self, args) -> Generator:

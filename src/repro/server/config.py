@@ -7,17 +7,55 @@ the calibration tests).
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Union
 
 from repro.core.policy import GatherPolicy
 from repro.fs.ufs import CostModel
 
-__all__ = ["ServerConfig", "WRITE_PATH_STANDARD", "WRITE_PATH_GATHER", "WRITE_PATH_SIVA"]
+__all__ = [
+    "ServerConfig",
+    "WritePath",
+    "WRITE_PATH_STANDARD",
+    "WRITE_PATH_GATHER",
+    "WRITE_PATH_SIVA",
+]
 
-WRITE_PATH_STANDARD = "standard"
-WRITE_PATH_GATHER = "gather"
-WRITE_PATH_SIVA = "siva"
+
+class WritePath(str, enum.Enum):
+    """Which rfs_write implementation the server runs.
+
+    A ``str`` subclass so existing ``config.write_path == "gather"``
+    comparisons (and %-style formatting into experiment labels) keep
+    working; prefer the enum members in new code.
+    """
+
+    STANDARD = "standard"
+    GATHER = "gather"
+    SIVA = "siva"
+
+    def __str__(self) -> str:  # "gather", not "WritePath.GATHER"
+        return self.value
+
+    @classmethod
+    def coerce(cls, value: Union["WritePath", str]) -> "WritePath":
+        """Accept an enum member or its string value; raise on junk."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            names = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown write path {value!r} (expected one of: {names})"
+            ) from None
+
+
+#: Legacy aliases, kept so pre-enum call sites keep importing cleanly.
+WRITE_PATH_STANDARD = WritePath.STANDARD
+WRITE_PATH_GATHER = WritePath.GATHER
+WRITE_PATH_SIVA = WritePath.SIVA
 
 
 @dataclass
@@ -32,8 +70,9 @@ class ServerConfig:
     #: NFS socket buffer limit ("DEC OSF/1 currently uses a maximum of
     #: .25M for socket buffering").
     socket_buffer_bytes: int = 256 * 1024
-    #: Which rfs_write implementation to run.
-    write_path: str = WRITE_PATH_STANDARD
+    #: Which rfs_write implementation to run.  Accepts a :class:`WritePath`
+    #: member or its string value ("standard" / "gather" / "siva").
+    write_path: WritePath = WritePath.STANDARD
     #: Gathering policy (used when write_path == "gather").
     gather_policy: GatherPolicy = field(default_factory=GatherPolicy)
 
@@ -65,9 +104,4 @@ class ServerConfig:
     def __post_init__(self) -> None:
         if self.nfsds < 1:
             raise ValueError(f"need at least one nfsd, got {self.nfsds}")
-        if self.write_path not in (
-            WRITE_PATH_STANDARD,
-            WRITE_PATH_GATHER,
-            WRITE_PATH_SIVA,
-        ):
-            raise ValueError(f"unknown write path {self.write_path!r}")
+        self.write_path = WritePath.coerce(self.write_path)

@@ -14,8 +14,8 @@ from typing import Generator
 from repro.fs.ufs import FsError
 from repro.fs.vfs import IO_SYNC
 from repro.nfs.protocol import Fattr
+from repro.obs import PHASE_COMMIT, PHASE_REPLY, PHASE_VNODE_WAIT, registry_for
 from repro.rpc.server import REPLY_DONE, TransportHandle
-from repro.sim import Counter
 
 __all__ = ["StandardWritePath"]
 
@@ -26,7 +26,7 @@ class StandardWritePath:
     def __init__(self, server) -> None:
         self.server = server
         self.env = server.env
-        self.writes = Counter(server.env, "standard.writes")
+        self.writes = registry_for(server.env).counter(f"{server.host}.standard.writes")
 
     def handle(self, nfsd_id: int, handle: TransportHandle) -> Generator:
         """Process one WRITE synchronously; always returns REPLY_DONE."""
@@ -37,13 +37,20 @@ class StandardWritePath:
             yield from self.server.reply(handle, exc.code, None)
             return REPLY_DONE
         self.writes.add(1)
+        trace = self.server.trace_of(handle)
+        lock_requested = self.env.now
         with vnode.lock.request() as grant:
             yield grant
+            self.server.emit_span(trace, PHASE_VNODE_WAIT, lock_requested, ino=vnode.ino)
+            commit_started = self.env.now
             try:
                 yield from vnode.vop_write(args.offset, args.data, IO_SYNC)
             except FsError as exc:
                 yield from self.server.reply(handle, exc.code, None)
                 return REPLY_DONE
+            self.server.emit_span(
+                trace, PHASE_COMMIT, commit_started, bytes=len(args.data)
+            )
             fattr = Fattr.from_inode(vnode.inode)
             # Check inside the lock: no later writer can supersede the
             # just-committed bytes before we inspect the durable image.
@@ -51,5 +58,7 @@ class StandardWritePath:
             # their (now moot) commit state is exempt.
             if handle.acquired_at > getattr(self.server, "last_crash_time", -1.0):
                 self.server.check_stable(vnode, args.offset, args.data)
+        stable_at = self.env.now
         yield from self.server.reply(handle, "ok", fattr)
+        self.server.emit_span(trace, PHASE_REPLY, stable_at)
         return REPLY_DONE

@@ -18,7 +18,7 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Deque, List, Optional
 
-from repro.sim.core import PRIORITY_URGENT, Environment, Event
+from repro.sim.core import Environment, Event
 from repro.sim.errors import SimError
 
 __all__ = ["Resource", "PriorityResource", "Request", "Store", "Container"]

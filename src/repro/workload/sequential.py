@@ -8,7 +8,7 @@ blocks; write-behind and blocking behaviour live in the NfsClient.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.nfs.client import NfsClient
 from repro.sim import Environment

@@ -6,8 +6,6 @@ buffer, e.g., is a limit ...).  As a rule of thumb, I don't recommend more
 than 7 biods for general purpose/heavily used networks."
 """
 
-import pytest
-
 from repro.experiments import Testbed, TestbedConfig
 from repro.net import ETHERNET, FDDI
 from repro.workload import write_file

@@ -1,8 +1,11 @@
 """Tests for the `repro` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.server.config import WritePath
 
 
 class TestParser:
@@ -23,6 +26,117 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_write_path_choices(self):
+        args = build_parser().parse_args(["copy", "--write-path", "siva"])
+        assert args.write_path == "siva"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["copy", "--write-path", "bogus"])
+
+
+class TestWritePathFlags:
+    def test_new_flag_selects_path(self, capsys):
+        assert (
+            main(["copy", "--write-path", "gather", "--biods", "7", "--file-mb", "0.5"])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "/gather" in captured.out
+        assert "deprecated" not in captured.err
+
+    def test_legacy_gather_flag_still_works_and_warns(self, capsys):
+        with pytest.warns(DeprecationWarning, match="--gather is deprecated"):
+            assert main(["copy", "--gather", "--file-mb", "0.5"]) == 0
+        captured = capsys.readouterr()
+        assert "/gather" in captured.out
+        assert "deprecated" in captured.err
+
+    def test_legacy_siva_flag_still_works_and_warns(self, capsys):
+        with pytest.warns(DeprecationWarning, match="--siva is deprecated"):
+            assert main(["copy", "--siva", "--file-mb", "0.5"]) == 0
+        assert "/siva" in capsys.readouterr().out
+
+    def test_conflicting_legacy_and_new_flags_rejected(self, capsys):
+        with pytest.warns(DeprecationWarning):
+            assert (
+                main(["copy", "--gather", "--write-path", "siva", "--file-mb", "0.5"])
+                == 2
+            )
+        assert "conflicting" in capsys.readouterr().err
+
+    def test_agreeing_legacy_and_new_flags_accepted(self, capsys):
+        with pytest.warns(DeprecationWarning):
+            assert (
+                main(["copy", "--gather", "--write-path", "gather", "--file-mb", "0.5"])
+                == 0
+            )
+
+    def test_enum_round_trip(self):
+        assert WritePath.coerce("gather") is WritePath.GATHER
+        assert WritePath.coerce(WritePath.SIVA) is WritePath.SIVA
+        assert str(WritePath.STANDARD) == "standard"
+        assert f"{WritePath.GATHER}" == "gather"
+        with pytest.raises(ValueError):
+            WritePath.coerce("bogus")
+
+
+class TestJsonOutput:
+    def test_copy_json_includes_phase_percentiles(self, capsys):
+        assert (
+            main(
+                [
+                    "copy",
+                    "--net",
+                    "fddi",
+                    "--biods",
+                    "7",
+                    "--write-path",
+                    "gather",
+                    "--json",
+                    "--file-mb",
+                    "0.5",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["label"].endswith("/gather")
+        phases = payload["phases"]
+        for phase in (
+            "net.sockbuf",
+            "server.vnode_wait",
+            "gather.procrastinate",
+            "storage.commit",
+            "reply.delay",
+        ):
+            assert {"p50", "p95", "p99"} <= set(phases[phase]), phase
+
+    def test_table_json(self, capsys):
+        assert main(["table", "1", "--file-mb", "0.25", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["table"] == 1
+        assert len(payload["standard"]) == len(payload["biods"])
+
+    def test_sweep_json(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "nbiods",
+                    "0",
+                    "7",
+                    "--write-path",
+                    "gather",
+                    "--file-mb",
+                    "0.25",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["field"] == "nbiods"
+        assert len(payload["results"]) == 2
 
 
 class TestCommands:

@@ -6,8 +6,6 @@ randomness, wall-clock time, or dict-ordering-dependent behaviour breaks
 loudly) and check that seeds actually change what they should.
 """
 
-import pytest
-
 from repro.experiments import TestbedConfig, run_filecopy, run_table
 from repro.net import ETHERNET, FDDI
 

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.disk import RZ26, DiskDevice, DiskModel, DiskSpec, IoRequest, StripeSet
+from repro.disk import RZ26, DiskDevice, DiskModel, IoRequest, StripeSet
 from repro.sim import Environment
 
 KB = 1024

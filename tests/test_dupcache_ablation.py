@@ -6,8 +6,6 @@ actually succeeded — the classic non-idempotency failure the cache exists
 to prevent.
 """
 
-import pytest
-
 from repro.experiments import Testbed, TestbedConfig
 from repro.net import FDDI
 from repro.rpc import RpcCall

@@ -1,7 +1,5 @@
 """Tests for the MOUNT protocol (mountd)."""
 
-import pytest
-
 from repro.experiments import Testbed, TestbedConfig
 from repro.net import FDDI
 from repro.nfs import NfsError

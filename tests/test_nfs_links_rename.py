@@ -1,7 +1,5 @@
 """Tests for the SYMLINK / READLINK / RENAME procedures end to end."""
 
-import pytest
-
 from repro.experiments import Testbed, TestbedConfig
 from repro.net import FDDI
 from repro.nfs import NfsError

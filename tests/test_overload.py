@@ -6,13 +6,9 @@ backoff/retransmission comes into play.  The server depends upon its
 clients to attenuate their request loads as it becomes heavily loaded."
 """
 
-import pytest
-
-from repro.core import GatherPolicy
 from repro.experiments import Testbed, TestbedConfig
 from repro.net import ETHERNET, FDDI
 from repro.rpc import CLASS_HEAVY
-from repro.server import ServerConfig
 from repro.workload import write_file
 
 KB = 1024

@@ -1,7 +1,5 @@
 """Tests for client read-ahead through biods (§4.1)."""
 
-import pytest
-
 from repro.experiments import Testbed, TestbedConfig
 from repro.net import FDDI
 from repro.nfs import NfsClient

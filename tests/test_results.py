@@ -6,7 +6,6 @@ import pytest
 
 from repro.experiments import run_table
 from repro.experiments.results import (
-    SeriesFidelity,
     save_json,
     score_series,
     table_to_dict,

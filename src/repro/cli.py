@@ -11,6 +11,8 @@ Installed as the ``repro`` console script (also usable as
     repro trace                   # Figure 1 timelines
     repro laddis --presto         # Figure 2/3 style curve
     repro claims                  # one-screen summary of headline results
+    repro copy --loss-rate 0.01   # file copy over a lossy wire
+    repro chaos --plans 5 --json  # seeded fault-injection campaign
 
 Every handler goes through :func:`repro.experiments.run` with an
 :class:`~repro.experiments.ExperimentSpec`; the CLI only parses arguments
@@ -67,6 +69,21 @@ def _add_write_path_options(parser: argparse.ArgumentParser, siva: bool = True) 
         )
 
 
+def _add_net_fault_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        help="per-frame network loss probability in [0, 1) (default: 0)",
+    )
+    parser.add_argument(
+        "--net-seed",
+        type=int,
+        default=None,
+        help="seed for the network RNG (default: the testbed seed)",
+    )
+
+
 def _resolve_write_path(args) -> WritePath:
     """Fold the new --write-path option and the legacy flags together."""
     gather = getattr(args, "gather", False)
@@ -102,6 +119,8 @@ def _config_from_args(args, write_path: WritePath, tracing: bool = False) -> Tes
         nfsds=getattr(args, "nfsds", 8),
         gather_policy=policy,
         tracing=tracing,
+        loss_rate=getattr(args, "loss_rate", 0.0),
+        net_seed=getattr(args, "net_seed", None),
     )
 
 
@@ -126,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     copy.add_argument("--nfsds", type=int, default=8)
     copy.add_argument("--file-mb", type=float, default=10.0)
     copy.add_argument("--interval-ms", type=float, default=None, help="procrastination override")
+    _add_net_fault_options(copy)
     copy.add_argument(
         "--json",
         action="store_true",
@@ -143,8 +163,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=[150.0, 300.0, 450.0, 550.0, 650.0],
     )
     laddis.add_argument("--duration", type=float, default=3.0)
+    _add_net_fault_options(laddis)
 
     subparsers.add_parser("claims", help="one-screen summary of the headline results")
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run a seeded fault-injection campaign (repro.faults)",
+        description=(
+            "Generate and run randomized-but-reproducible fault plans "
+            "(crashes, packet loss, partitions, duplication, reordering, "
+            "slow disks, socket-buffer shrink) against every selected "
+            "write path with Presto on and off, asserting the crash "
+            "contract: every client-acked write is durable with correct "
+            "content, and fsck finds no structural damage.  Exits 1 on "
+            "any violation."
+        ),
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="campaign seed (default: 0)")
+    chaos.add_argument(
+        "--plans",
+        type=int,
+        default=5,
+        help="plans per write path x presto combination (default: 5)",
+    )
+    chaos.add_argument(
+        "--write-paths",
+        nargs="+",
+        choices=[member.value for member in WritePath],
+        default=[member.value for member in WritePath],
+        help="write paths to campaign over (default: all)",
+    )
+    chaos.add_argument(
+        "--presto",
+        choices=["off", "on", "both"],
+        default="both",
+        help="NVRAM accelerator arms to run (default: both)",
+    )
+    chaos.add_argument(
+        "--file-kb", type=int, default=192, help="per-file workload size (default: 192)"
+    )
+    chaos.add_argument("--json", action="store_true", help="emit the full report as JSON")
 
     sweep_cmd = subparsers.add_parser("sweep", help="sweep one parameter of a file-copy")
     sweep_cmd.add_argument("field", help="TestbedConfig field, or interval_ms / presto_mb")
@@ -153,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_write_path_options(sweep_cmd, siva=False)
     sweep_cmd.add_argument("--biods", type=int, default=7)
     sweep_cmd.add_argument("--file-mb", type=float, default=4.0)
+    _add_net_fault_options(sweep_cmd)
     sweep_cmd.add_argument("--json", action="store_true", help="emit results as JSON")
     return parser
 
@@ -220,6 +280,8 @@ def _cmd_laddis(args) -> int:
                 presto=args.presto,
                 loads=args.loads,
                 duration=args.duration,
+                loss_rate=args.loss_rate,
+                net_seed=args.net_seed,
             )
         )
         for name, path in (("standard", WritePath.STANDARD), ("gathering", WritePath.GATHER))
@@ -262,6 +324,55 @@ def _cmd_claims(_args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults import ChaosCampaign
+
+    presto_modes = {"off": (False,), "on": (True,), "both": (False, True)}[args.presto]
+
+    def progress(result) -> None:
+        if not args.json:
+            presto = "presto" if result.presto else "plain "
+            status = "ok" if result.clean else "VIOLATION"
+            print(
+                f"  {result.plan.name:<24} {presto} "
+                f"acked={result.acked_writes:<4} crashes={result.crashes} "
+                f"retrans={result.retransmissions:<3} {status}"
+            )
+
+    campaign = ChaosCampaign(
+        seed=args.seed,
+        plans_per_combo=args.plans,
+        write_paths=args.write_paths,
+        presto_modes=presto_modes,
+        file_kb=args.file_kb,
+        progress=progress,
+    )
+    if not args.json:
+        combos = len(campaign.combos())
+        print(
+            f"chaos campaign: seed={args.seed}, {args.plans} plans x "
+            f"{combos} combos, {args.file_kb} KB files"
+        )
+    report = campaign.run()
+    if args.json:
+        print(report.to_json())
+    else:
+        summary = report.to_dict()
+        print(
+            f"ran {summary['plans_run']} plans: "
+            f"{summary['total_acked_writes']} acked writes, "
+            f"{summary['total_crashes']} crashes, "
+            f"{summary['total_retransmissions']} retransmissions"
+        )
+        if report.clean:
+            print("crash contract held: zero violations")
+        else:
+            print(f"{len(report.violations)} VIOLATIONS:")
+            for violation in report.violations:
+                print(f"  {violation}")
+    return 0 if report.clean else 1
+
+
 def _parse_value(text: str):
     for cast in (int, float):
         try:
@@ -292,6 +403,8 @@ def _cmd_sweep(args) -> int:
         netspec=_NETWORKS[args.net],
         write_path=write_path,
         nbiods=args.biods,
+        loss_rate=args.loss_rate,
+        net_seed=args.net_seed,
     )
     values = [_parse_value(v) for v in args.values]
     results = run(
@@ -329,6 +442,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "laddis": _cmd_laddis,
         "claims": _cmd_claims,
+        "chaos": _cmd_chaos,
         "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)

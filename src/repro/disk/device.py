@@ -96,10 +96,20 @@ class DiskDevice(Storage):
         self.spec = spec
         self.scheduler = scheduler
         self.model = DiskModel(spec)
+        #: Service-time multiplier (fault injection: a degraded spindle
+        #: retrying sectors).  1.0 = healthy.
+        self.slowdown = 1.0
         self._pending: list = []
         self._signal = env.event()
         self._in_flight = 0
         env.process(self._serve(), name=f"disk:{self.name}")
+
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade (or restore) the spindle: multiply service times by
+        ``factor``.  Requests already being served are unaffected."""
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be positive, got {factor}")
+        self.slowdown = factor
 
     def submit(self, offset: int, nbytes: int, is_write: bool = True, kind: str = "data") -> Event:
         request = IoRequest(offset=offset, nbytes=nbytes, is_write=is_write, kind=kind)
@@ -133,7 +143,9 @@ class DiskDevice(Storage):
             request = self._pick()
             service_started = self.env.now
             self.stats.busy.begin()
-            yield self.env.timeout(self.model.service_time(request.offset, request.nbytes))
+            yield self.env.timeout(
+                self.model.service_time(request.offset, request.nbytes) * self.slowdown
+            )
             self.stats.busy.end()
             self.stats.record(request.nbytes, request.is_write, request.kind)
             self._in_flight -= 1

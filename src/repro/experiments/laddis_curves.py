@@ -69,6 +69,8 @@ def run_curve(
     clients: int = 5,
     procs_per_client: int = 4,
     seed: int = 7,
+    loss_rate: float = 0.0,
+    net_seed: Optional[int] = None,
 ) -> LaddisCurve:
     """Measure one LADDIS curve: sweep offered loads on a fresh testbed."""
     config = TestbedConfig(
@@ -82,6 +84,8 @@ def run_curve(
         cpu_scale=1.0,
         verify_stable=False,  # speed: the invariant is covered by tests
         seed=seed,
+        loss_rate=loss_rate,
+        net_seed=net_seed,
     )
     testbed = Testbed(config)
     generator = LaddisGenerator(

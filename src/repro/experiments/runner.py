@@ -58,6 +58,10 @@ class ExperimentSpec:
     sweep_field: str = ""
     values: Sequence = field(default_factory=tuple)
     file_kb: int = 256
+    #: Network fault knobs for kind="curve" (the other kinds carry them in
+    #: ``config``): per-frame loss probability and segment RNG seed.
+    loss_rate: float = 0.0
+    net_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in EXPERIMENT_KINDS:
@@ -90,6 +94,8 @@ def run(spec: ExperimentSpec):
             presto=spec.presto,
             loads=list(spec.loads),
             duration=spec.duration,
+            loss_rate=spec.loss_rate,
+            net_seed=spec.net_seed,
         )
     if spec.kind == "sweep":
         if spec.config is None or not spec.sweep_field or not spec.values:

@@ -45,6 +45,11 @@ class TestbedConfig:
     gather_policy: GatherPolicy = field(default_factory=GatherPolicy)
     client_write_cpu: float = 0.0003
     seed: int = 0
+    #: Per-frame network loss probability (0 = lossless wire).
+    loss_rate: float = 0.0
+    #: Seed for the segment's RNG (loss/duplication/reorder draws); None
+    #: falls back to ``seed`` so existing configs are unchanged.
+    net_seed: Optional[int] = None
     #: When True, the testbed installs a :class:`~repro.obs.RecordingCollector`
     #: so every layer emits lifecycle spans (off by default: zero cost).
     tracing: bool = False
@@ -68,7 +73,12 @@ class Testbed:
         self.collector = RecordingCollector() if config.tracing else None
         if self.collector is not None:
             install(self.env, self.collector)
-        self.segment = Segment(self.env, config.netspec, seed=config.seed)
+        self.segment = Segment(
+            self.env,
+            config.netspec,
+            loss_rate=config.loss_rate,
+            seed=config.seed if config.net_seed is None else config.net_seed,
+        )
         self.disks: List[DiskDevice] = [
             DiskDevice(self.env, config.disk_spec, name=f"{config.disk_spec.name}-{i}")
             for i in range(config.stripes)

@@ -1,0 +1,59 @@
+"""repro.faults — deterministic fault injection and crash-consistency checking.
+
+The adversarial arm of the reproduction.  A declarative
+:class:`~repro.faults.events.FaultPlan` schedules typed fault events
+(server crash+reboot, packet-loss bursts, partitions, datagram
+duplication/reordering, slow disks, socket-buffer shrink), each fired at a
+sim time or on an observability span predicate; a
+:class:`~repro.faults.controller.FaultController` process injects and
+reverts them through public hooks; an
+:class:`~repro.faults.oracle.Oracle` shadows every client-acked stable
+write and asserts the paper's crash contract — acked ⇒ durable, correct
+content, and zero fsck structural errors — at every crash and at end of
+run.  :class:`~repro.faults.campaign.ChaosCampaign` sweeps seeded random
+plans across all write paths × Presto on/off (the ``repro chaos`` CLI).
+"""
+
+from repro.faults.campaign import (
+    CampaignReport,
+    ChaosCampaign,
+    PlanResult,
+    generate_plan,
+    run_plan,
+)
+from repro.faults.controller import FaultController
+from repro.faults.events import (
+    AtTime,
+    DatagramDuplication,
+    DatagramReorder,
+    FaultEvent,
+    FaultPlan,
+    NetworkPartition,
+    OnSpan,
+    PacketLossBurst,
+    ServerCrash,
+    SlowDisk,
+    SockBufShrink,
+)
+from repro.faults.oracle import Oracle
+
+__all__ = [
+    "AtTime",
+    "OnSpan",
+    "FaultEvent",
+    "FaultPlan",
+    "ServerCrash",
+    "PacketLossBurst",
+    "NetworkPartition",
+    "DatagramDuplication",
+    "DatagramReorder",
+    "SlowDisk",
+    "SockBufShrink",
+    "FaultController",
+    "Oracle",
+    "ChaosCampaign",
+    "CampaignReport",
+    "PlanResult",
+    "generate_plan",
+    "run_plan",
+]

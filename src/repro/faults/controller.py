@@ -1,0 +1,177 @@
+"""The fault controller: drives a FaultPlan against a live testbed.
+
+One simulation process per event waits for its trigger (a clock time, or an
+obs span matching a predicate), applies the fault through the public
+injection hooks (`Segment.set_loss_rate`/`partition`/...,
+`DiskDevice.set_slowdown`, `NfsServer.simulate_crash`), holds it for the
+event's window, then reverts it.  Every applied fault is appended to
+:attr:`FaultController.log` and — when tracing is on — emitted as a
+``fault.inject`` span, so exported timelines show crashes and partitions
+inline with the RPC lifecycle.
+
+Crashes are special twice over: they have no "revert" (lost state stays
+lost; the reboot is the partition healing), and they notify an attached
+:class:`~repro.faults.oracle.Oracle` so the crash contract is checked
+against the durable image at the instant of death.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.faults.events import (
+    AtTime,
+    DatagramDuplication,
+    DatagramReorder,
+    FaultEvent,
+    FaultPlan,
+    NetworkPartition,
+    OnSpan,
+    PacketLossBurst,
+    ServerCrash,
+    SlowDisk,
+    SockBufShrink,
+)
+from repro.obs import PHASE_FAULT, collector_for
+
+__all__ = ["FaultController"]
+
+
+class _SpanWaiter:
+    """Counts matching spans for one OnSpan trigger; succeeds its event."""
+
+    __slots__ = ("trigger", "done", "seen")
+
+    def __init__(self, trigger: OnSpan, done) -> None:
+        self.trigger = trigger
+        self.done = done
+        self.seen = 0
+
+    def offer(self, span) -> None:
+        if self.done.triggered or not self.trigger.matches(span):
+            return
+        self.seen += 1
+        if self.seen >= self.trigger.occurrence:
+            self.done.succeed(span)
+
+
+class FaultController:
+    """Executes one :class:`FaultPlan` against a testbed."""
+
+    def __init__(self, testbed, plan: FaultPlan, oracle=None) -> None:
+        self.testbed = testbed
+        self.env = testbed.env
+        self.plan = plan
+        self.oracle = oracle
+        self.obs = collector_for(self.env)
+        #: Applied faults: dicts with kind, start, end, and parameters.
+        self.log: List[dict] = []
+        self.crashes = 0
+        self._span_waiters: List[_SpanWaiter] = []
+
+    def start(self) -> "FaultController":
+        """Spawn one driver process per planned event.  Call before
+        ``env.run()``; returns self for chaining."""
+        if self.plan.needs_tracing():
+            if not self.obs.enabled:
+                raise ValueError(
+                    f"plan {self.plan.name!r} has span-triggered faults; "
+                    "build the testbed with tracing=True"
+                )
+            self.obs.subscribe(self._on_span)
+        for index, event in enumerate(self.plan.events):
+            waiter: Optional[_SpanWaiter] = None
+            if isinstance(event.trigger, OnSpan):
+                waiter = _SpanWaiter(event.trigger, self.env.event())
+                self._span_waiters.append(waiter)
+            self.env.process(
+                self._drive(event, waiter),
+                name=f"fault:{self.plan.name}:{index}:{event.kind}",
+            )
+        return self
+
+    # -- internals -------------------------------------------------------------
+
+    def _on_span(self, span) -> None:
+        for waiter in self._span_waiters:
+            waiter.offer(span)
+
+    def _drive(self, event: FaultEvent, waiter: Optional[_SpanWaiter]):
+        trigger = event.trigger
+        if isinstance(trigger, AtTime):
+            if trigger.at > self.env.now:
+                yield self.env.timeout(trigger.at - self.env.now)
+        else:
+            yield waiter.done
+            if trigger.delay > 0:
+                yield self.env.timeout(trigger.delay)
+        started = self.env.now
+        revert = self._apply(event)
+        if event.window > 0:
+            yield self.env.timeout(event.window)
+        if revert is not None:
+            revert()
+        self._record(event, started, self.env.now)
+
+    def _apply(self, event: FaultEvent):
+        """Inject one fault; returns a revert callable (or None)."""
+        segment = self.testbed.segment
+        server = self.testbed.server
+        if isinstance(event, ServerCrash):
+            server.simulate_crash()
+            self.crashes += 1
+            if self.oracle is not None:
+                self.oracle.check(f"crash#{self.crashes}")
+            if event.reboot_delay > 0:
+                # Down for the count: unreachable until the reboot finishes.
+                segment.partition(server.host)
+                return lambda: segment.heal(server.host)
+            return None
+        if isinstance(event, PacketLossBurst):
+            previous = segment.loss_rate
+            segment.set_loss_rate(event.loss_rate)
+            return lambda: segment.set_loss_rate(previous)
+        if isinstance(event, NetworkPartition):
+            hosts = event.hosts or (server.host,)
+            for host in hosts:
+                segment.partition(host)
+            return lambda: [segment.heal(host) for host in hosts]
+        if isinstance(event, DatagramDuplication):
+            previous = segment.duplicate_rate
+            segment.set_duplicate_rate(event.rate)
+            return lambda: segment.set_duplicate_rate(previous)
+        if isinstance(event, DatagramReorder):
+            previous = (segment.reorder_rate, segment.reorder_delay)
+            segment.set_reorder(event.rate, event.extra_delay)
+            return lambda: segment.set_reorder(*previous)
+        if isinstance(event, SlowDisk):
+            disks = list(self.testbed.disks)
+            previous_factors = [disk.slowdown for disk in disks]
+            for disk in disks:
+                disk.set_slowdown(event.factor)
+            return lambda: [
+                disk.set_slowdown(factor)
+                for disk, factor in zip(disks, previous_factors)
+            ]
+        if isinstance(event, SockBufShrink):
+            inbox = server.endpoint.inbox
+            previous_capacity = inbox.capacity_bytes
+            inbox.capacity_bytes = min(previous_capacity, event.capacity_bytes)
+            def restore(inbox=inbox, capacity=previous_capacity):
+                inbox.capacity_bytes = capacity
+            return restore
+        raise TypeError(f"unknown fault event {type(event).__name__}")
+
+    def _record(self, event: FaultEvent, started: float, ended: float) -> None:
+        record = {"kind": event.kind, "start": started, "end": ended}
+        record.update(
+            {
+                key: (list(value) if isinstance(value, tuple) else value)
+                for key, value in event.params().items()
+            }
+        )
+        self.log.append(record)
+        if self.obs.enabled:
+            self.obs.emit(
+                PHASE_FAULT, "faults", started, ended, **{"kind": event.kind}
+            )

@@ -1,0 +1,224 @@
+"""Typed fault events and the plans that sequence them.
+
+A :class:`FaultPlan` is pure data: an ordered tuple of :class:`FaultEvent`
+subclasses, each carrying a :class:`Trigger` (fire at a simulation time, or
+when an observability span matching a predicate closes) and the parameters
+of one adversity — a server crash and reboot, a burst of packet loss, a
+network partition, datagram duplication or reordering, a degraded spindle,
+or a shrunken socket buffer.  Plans are declarative and serializable, so a
+failing chaos campaign can print the exact plan that broke the server and a
+test can re-run it verbatim.
+
+The paper's crash contract (§4.4, §6.9) is what these adversities probe:
+no reply may leave the server before the write it acknowledges is stable,
+no matter when the crash lands or how the network mangles the traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional, Tuple, Union
+
+__all__ = [
+    "AtTime",
+    "OnSpan",
+    "Trigger",
+    "FaultEvent",
+    "ServerCrash",
+    "PacketLossBurst",
+    "NetworkPartition",
+    "DatagramDuplication",
+    "DatagramReorder",
+    "SlowDisk",
+    "SockBufShrink",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class AtTime:
+    """Fire when the simulation clock reaches ``at`` seconds."""
+
+    at: float
+
+    def describe(self) -> dict:
+        return {"type": "at", "at": self.at}
+
+
+@dataclass(frozen=True)
+class OnSpan:
+    """Fire when the ``occurrence``-th obs span matching the predicate
+    closes (requires a traced testbed).
+
+    ``phase`` is a dotted span name (e.g. ``gather.procrastinate`` — the
+    span closing as the first parked write's nap ends, i.e. "a write is
+    sitting on the active write queue").  ``attrs`` adds equality matches
+    on span attributes; ``delay`` postpones the fault past the match.
+    """
+
+    phase: str
+    occurrence: int = 1
+    attrs: Tuple[Tuple[str, object], ...] = ()
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.occurrence < 1:
+            raise ValueError(f"occurrence must be >= 1, got {self.occurrence}")
+
+    def matches(self, span) -> bool:
+        if span.name != self.phase:
+            return False
+        return all(span.attrs.get(key) == value for key, value in self.attrs)
+
+    def describe(self) -> dict:
+        record: Dict[str, object] = {
+            "type": "span",
+            "phase": self.phase,
+            "occurrence": self.occurrence,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        if self.delay:
+            record["delay"] = self.delay
+        return record
+
+
+Trigger = Union[AtTime, OnSpan]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One adversity: a trigger plus fault-specific parameters."""
+
+    trigger: Trigger
+
+    #: Sim-seconds the fault stays active before the controller reverts it
+    #: (0 = instantaneous, e.g. a crash with immediate reboot).
+    @property
+    def window(self) -> float:
+        return getattr(self, "duration", 0.0)
+
+    @property
+    def kind(self) -> str:
+        return _KIND_OF[type(self)]
+
+    def params(self) -> dict:
+        """Fault parameters (everything but the trigger), for reports."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "trigger"
+        }
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "trigger": self.trigger.describe(),
+            **self.params(),
+        }
+
+
+@dataclass(frozen=True)
+class ServerCrash(FaultEvent):
+    """Power-fail the server; it reboots ``reboot_delay`` seconds later.
+
+    During the outage the host is partitioned off the segment, so client
+    retransmissions go unanswered exactly as against a dead machine.  With
+    ``reboot_delay=0`` the reboot is instantaneous (volatile state is still
+    lost — the interesting part — without the retransmission stall).
+    """
+
+    reboot_delay: float = 0.0
+
+    @property
+    def window(self) -> float:
+        return self.reboot_delay
+
+
+@dataclass(frozen=True)
+class PacketLossBurst(FaultEvent):
+    """Raise the segment's frame loss rate for a window (a noisy cable)."""
+
+    loss_rate: float = 0.3
+    duration: float = 0.1
+
+
+@dataclass(frozen=True)
+class NetworkPartition(FaultEvent):
+    """Cut hosts off the segment for a window.  Empty ``hosts`` means the
+    server — the classic client-visible server outage without state loss."""
+
+    hosts: Tuple[str, ...] = ()
+    duration: float = 0.2
+
+
+@dataclass(frozen=True)
+class DatagramDuplication(FaultEvent):
+    """Deliver a fraction of datagrams twice — the adversity the [JUSZ89]
+    duplicate request cache exists for."""
+
+    rate: float = 0.2
+    duration: float = 0.2
+
+
+@dataclass(frozen=True)
+class DatagramReorder(FaultEvent):
+    """Delay a fraction of datagrams so later traffic overtakes them."""
+
+    rate: float = 0.2
+    extra_delay: float = 0.002
+    duration: float = 0.2
+
+
+@dataclass(frozen=True)
+class SlowDisk(FaultEvent):
+    """Multiply every spindle's service time (sector retries, thermal
+    recalibration) for a window."""
+
+    factor: float = 4.0
+    duration: float = 0.3
+
+
+@dataclass(frozen=True)
+class SockBufShrink(FaultEvent):
+    """Clamp the server's NFS socket buffer to ``capacity_bytes`` for a
+    window, forcing §4.2-style overload drops."""
+
+    capacity_bytes: int = 16 * 1024
+    duration: float = 0.2
+
+
+_KIND_OF = {
+    ServerCrash: "server_crash",
+    PacketLossBurst: "packet_loss",
+    NetworkPartition: "partition",
+    DatagramDuplication: "duplication",
+    DatagramReorder: "reorder",
+    SlowDisk: "slow_disk",
+    SockBufShrink: "sockbuf_shrink",
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, declarative schedule of fault events."""
+
+    name: str
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def crash_count(self) -> int:
+        return sum(1 for event in self.events if isinstance(event, ServerCrash))
+
+    def needs_tracing(self) -> bool:
+        """True if any event waits on an obs span (testbed must trace)."""
+        return any(isinstance(event.trigger, OnSpan) for event in self.events)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "events": [event.describe() for event in self.events],
+        }

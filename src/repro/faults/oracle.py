@@ -1,0 +1,117 @@
+"""The crash-consistency oracle: acked ⇒ durable, and no structural damage.
+
+The oracle shadows every *stable* WRITE acknowledgement a client receives
+(via :attr:`NfsClient.on_write_acked`) into a per-inode expected byte
+image.  At every check point — the instant of each simulated crash, and
+once at the end of the run — it asserts the paper's crash contract against
+the server's durable image:
+
+1. **Durability**: every acked byte range is durably readable
+   (:meth:`Ufs.durable_read` returns actual bytes, not None);
+2. **Content**: the durable bytes equal the last acked write's bytes;
+3. **Structure**: ``fsck`` in post-crash mode reports zero structural
+   errors (lost *unacked* tails are legitimate and stay warnings).
+
+Any violation is recorded with the simulation time and byte range, so a
+chaos campaign's report pinpoints exactly which promise broke and when.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.fs.fsck import fsck
+
+__all__ = ["Oracle"]
+
+
+class Oracle:
+    """Records client-acked writes; diffs them against the durable image."""
+
+    def __init__(self, testbed) -> None:
+        self.testbed = testbed
+        self.env = testbed.env
+        self.server = testbed.server
+        #: Per-ino expected content, densely indexed from byte 0.
+        self._images: Dict[int, bytearray] = {}
+        #: Per-ino mask of which bytes have actually been acked (an image
+        #: may have unwritten gaps that carry no promise).
+        self._acked: Dict[int, bytearray] = {}
+        self.acked_writes = 0
+        self.checks = 0
+        #: Human-readable violation strings, in detection order.
+        self.violations: List[str] = []
+
+    # -- recording --------------------------------------------------------------
+
+    def attach(self, client) -> None:
+        """Shadow ``client``'s stable write acknowledgements."""
+        client.on_write_acked = self.record_ack
+
+    def record_ack(self, fhandle, offset: int, data: bytes) -> None:
+        """One stable WRITE was acked: remember the promise it binds."""
+        ino = fhandle[0]
+        end = offset + len(data)
+        image = self._images.setdefault(ino, bytearray())
+        mask = self._acked.setdefault(ino, bytearray())
+        if len(image) < end:
+            image.extend(b"\x00" * (end - len(image)))
+            mask.extend(b"\x00" * (end - len(mask)))
+        image[offset:end] = data
+        mask[offset:end] = b"\x01" * len(data)
+        self.acked_writes += 1
+
+    def _acked_runs(self, ino: int) -> List[Tuple[int, int]]:
+        """Maximal contiguous byte ranges of ``ino`` covered by acks."""
+        mask = self._acked[ino]
+        runs: List[Tuple[int, int]] = []
+        start = None
+        for position, flag in enumerate(mask):
+            if flag and start is None:
+                start = position
+            elif not flag and start is not None:
+                runs.append((start, position))
+                start = None
+        if start is not None:
+            runs.append((start, len(mask)))
+        return runs
+
+    # -- checking ---------------------------------------------------------------
+
+    def check(self, label: str = "final") -> List[str]:
+        """Assert the crash contract now; returns (and records) violations."""
+        found: List[str] = []
+        now = self.env.now
+        ufs = self.server.ufs
+        for ino in sorted(self._images):
+            image = self._images[ino]
+            for start, end in self._acked_runs(ino):
+                durable = ufs.durable_read(ino, start, end - start)
+                if durable is None:
+                    found.append(
+                        f"[{label} t={now:.6f}] ino {ino} bytes [{start},{end}): "
+                        "acked but not durably readable"
+                    )
+                elif durable != bytes(image[start:end]):
+                    first_bad = next(
+                        index
+                        for index, (got, want) in enumerate(
+                            zip(durable, image[start:end])
+                        )
+                        if got != want
+                    )
+                    found.append(
+                        f"[{label} t={now:.6f}] ino {ino} bytes [{start},{end}): "
+                        f"durable content differs from acked content "
+                        f"(first mismatch at byte {start + first_bad})"
+                    )
+        report = fsck(ufs, strict=False)
+        for error in report.errors:
+            found.append(f"[{label} t={now:.6f}] fsck: {error}")
+        self.checks += 1
+        self.violations.extend(found)
+        return found
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations

@@ -231,6 +231,18 @@ class BufferCache:
         device_event.callbacks.append(complete)
         return done
 
+    def reset_volatile(self) -> None:
+        """Forget all in-core state at a simulated crash.
+
+        Every buffer (clean or dirty) and the in-flight flush tracking table
+        vanish; the durable image survives untouched.  Device completions
+        already in flight still fire — ``_submit_run`` pops from the cleared
+        table — and still commit their submit-time snapshots, modelling
+        transactions the controller had accepted before the host died.
+        """
+        self._buffers.clear()
+        self._in_flight.clear()
+
     def in_flight_events(self) -> List[Event]:
         """Completion events for all flushes currently in flight."""
         return [event for event, _start in self._in_flight.values()]

@@ -525,6 +525,34 @@ class Ufs:
             if inode.inode_dirty or inode.only_mtime_dirty:
                 yield from self._write_inode_sync(inode)
 
+    def reset_volatile(self) -> None:
+        """Lose all in-core filesystem state at a simulated crash.
+
+        The buffer cache empties, in-flight flush tracking is dropped, and
+        every in-core inode reverts to its last committed snapshot — an
+        inode that never reached stable storage keeps its in-core identity
+        (so its file handle resolves) but all its dirty flags clear: the
+        new incarnation makes no promises the old one didn't keep.
+        """
+        self.cache.reset_volatile()
+        self._in_flight_data.clear()
+        durable = self.cache.durable
+        for inode in self.inodes.values():
+            snapshot = durable.inodes.get(inode.ino)
+            if snapshot is not None:
+                inode.size = snapshot.size
+                inode.mtime = snapshot.mtime
+                inode.direct = list(snapshot.direct)
+                inode.indirect_addr = snapshot.indirect_addr
+            durable_indirect = durable.indirects.get(inode.ino)
+            if durable_indirect is not None:
+                inode.indirect = dict(durable_indirect)
+            elif snapshot is not None and snapshot.indirect_addr is None:
+                inode.indirect = {}
+            inode.inode_dirty = False
+            inode.indirect_dirty = False
+            inode.only_mtime_dirty = False
+
     # -- crash-consistency inspection (used by tests and invariant checks) -------
 
     def durable_read(self, ino: int, offset: int, nbytes: int) -> Optional[bytes]:

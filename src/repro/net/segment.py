@@ -8,12 +8,19 @@ reply traffic interleave frame-by-frame exactly as in the §5 case study.
 Delivery places the reassembled datagram into the destination endpoint's
 socket buffer; if that buffer is full the datagram is dropped, which is how
 an overloaded server sheds load back onto client retransmission (§4.2).
+
+The segment doubles as the fault-injection surface for the ``repro.faults``
+subsystem: loss rate is adjustable mid-run, hosts can be partitioned off
+(their traffic silently dropped in both directions, as with a dead
+transceiver), and delivered datagrams can be probabilistically duplicated
+or delayed out of order — all drawing from the segment's own seeded RNG so
+faulty runs stay deterministic.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict
+from typing import Dict, Set
 
 from repro.net.packet import Datagram
 from repro.net.spec import NetSpec
@@ -45,6 +52,14 @@ class Segment:
         self._medium = Resource(env, capacity=1)
         self._endpoints: Dict[str, UdpEndpoint] = {}
         self._tx_queues: Dict[str, object] = {}
+        #: Hosts currently cut off the segment (fault injection).
+        self._partitioned: Set[str] = set()
+        #: Probability a delivered datagram is delivered twice.
+        self.duplicate_rate = 0.0
+        #: Probability a delivered datagram is delayed by ``reorder_delay``
+        #: (letting later traffic overtake it).
+        self.reorder_rate = 0.0
+        self.reorder_delay = 0.0
         self.obs = collector_for(env)
         metrics = registry_for(env)
         self.utilization = metrics.utilization(f"{self.name}.wire")
@@ -52,6 +67,9 @@ class Segment:
         self.dropped = metrics.counter(f"{self.name}.dropped")
         self.lost = metrics.counter(f"{self.name}.lost")
         self.bytes_moved = metrics.counter(f"{self.name}.bytes")
+        self.partition_drops = metrics.counter(f"{self.name}.partition_drops")
+        self.duplicated = metrics.counter(f"{self.name}.duplicated")
+        self.reordered = metrics.counter(f"{self.name}.reordered")
 
     def attach(self, host: str, buffer_bytes: int = 256 * 1024) -> UdpEndpoint:
         """Create an endpoint for ``host`` with a bounded socket buffer."""
@@ -65,6 +83,44 @@ class Segment:
 
     def endpoint(self, host: str) -> UdpEndpoint:
         return self._endpoints[host]
+
+    # -- fault-injection controls (driven by repro.faults) ---------------------
+
+    def set_loss_rate(self, rate: float) -> None:
+        """Change the per-frame loss probability mid-run."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {rate}")
+        self.loss_rate = rate
+
+    def partition(self, host: str) -> None:
+        """Cut ``host`` off the segment: its datagrams (both directions)
+        finish their wire time but are never delivered."""
+        if host not in self._endpoints:
+            raise ValueError(f"unknown host {host!r}")
+        self._partitioned.add(host)
+
+    def heal(self, host: str) -> None:
+        """Reconnect a partitioned host."""
+        self._partitioned.discard(host)
+
+    def is_partitioned(self, host: str) -> bool:
+        return host in self._partitioned
+
+    def set_duplicate_rate(self, rate: float) -> None:
+        """Probability that a delivered datagram arrives twice."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"duplicate rate must be in [0, 1), got {rate}")
+        self.duplicate_rate = rate
+
+    def set_reorder(self, rate: float, extra_delay: float) -> None:
+        """Delay a ``rate`` fraction of datagrams by ``extra_delay`` seconds,
+        letting traffic sent after them arrive first."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"reorder rate must be in [0, 1), got {rate}")
+        if extra_delay < 0:
+            raise ValueError(f"extra delay must be >= 0, got {extra_delay}")
+        self.reorder_rate = rate
+        self.reorder_delay = extra_delay
 
     def send(self, datagram: Datagram) -> None:
         """Queue ``datagram`` on its source host's NIC; returns immediately."""
@@ -119,12 +175,45 @@ class Segment:
         return lost
 
     def _deliver(self, datagram: Datagram, lost: bool):
-        yield self.env.timeout(self.spec.latency)
+        # Fault knobs draw from the RNG only while nonzero, so fault-free
+        # runs consume the identical random stream they always did.
+        extra_delay = 0.0
+        duplicated = False
+        if not lost:
+            if self.reorder_rate and self._rng.random() < self.reorder_rate:
+                extra_delay = self.reorder_delay
+                self.reordered.add(1)
+            if self.duplicate_rate and self._rng.random() < self.duplicate_rate:
+                duplicated = True
+        yield self.env.timeout(self.spec.latency + extra_delay)
         if lost:
             self.lost.add(1)
+            return
+        self._arrive(datagram)
+        if duplicated:
+            self.duplicated.add(1)
+            yield self.env.timeout(self.spec.latency)
+            self._arrive(self._clone(datagram))
+
+    def _arrive(self, datagram: Datagram) -> None:
+        if datagram.src in self._partitioned or datagram.dst in self._partitioned:
+            self.partition_drops.add(1)
             return
         target = self._endpoints[datagram.dst]
         if not target.deliver(datagram):
             self.dropped.add(1)
         else:
             self.delivered.add(1)
+
+    @staticmethod
+    def _clone(datagram: Datagram) -> Datagram:
+        """A fresh Datagram carrying the same payload (the duplicate gets
+        its own arrival bookkeeping in the destination socket buffer)."""
+        copy = Datagram(
+            src=datagram.src,
+            dst=datagram.dst,
+            payload=datagram.payload,
+            size=datagram.size,
+        )
+        copy.fragments = datagram.fragments
+        return copy

@@ -68,6 +68,15 @@ class SocketBuffer:
         """Return (without removing) queued datagrams matching ``predicate``."""
         return [datagram for datagram in self.items if predicate(datagram)]
 
+    def reset_volatile(self) -> None:
+        """Drop every queued datagram (crash: the mbuf pool is RAM).
+
+        Waiting getters stay parked — the post-reboot nfsds simply block
+        until fresh traffic (client retransmissions) arrives.
+        """
+        self.items.clear()
+        self.used_bytes = 0
+
     def _pop(self) -> Datagram:
         datagram = self.items.popleft()
         self.used_bytes -= datagram.size

@@ -120,6 +120,10 @@ class NfsClient:
         self.blocked_writes = metrics.counter(f"{prefix}.blocked_writes")
         self.readahead_hits = metrics.counter(f"{prefix}.readahead_hits")
         self.root_fhandle: FileHandle = (2, 0)
+        #: Crash-consistency hook (repro.faults.Oracle): called as
+        #: ``(fhandle, offset, data)`` the instant a *stable* WRITE's ok
+        #: reply lands — the moment the server's durability promise binds.
+        self.on_write_acked = None
 
     # -- generic RPC wrapper ---------------------------------------------------
 
@@ -388,6 +392,8 @@ class NfsClient:
         self.bytes_written.add(len(data))
         self.write_latency.observe(self.env.now - started)
         if stable:
+            if self.on_write_acked is not None:
+                self.on_write_acked(open_file.fhandle, offset, data)
             return reply.result  # Fattr
         fattr, verifier = reply.result
         if record:

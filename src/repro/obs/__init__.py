@@ -28,6 +28,7 @@ from repro.obs.span import (
     PHASE_COMMIT,
     PHASE_DISK_IO,
     PHASE_DISPATCH,
+    PHASE_FAULT,
     PHASE_NVRAM_COPY,
     PHASE_PARKED,
     PHASE_PROCRASTINATE,
@@ -65,5 +66,6 @@ __all__ = [
     "PHASE_REPLY",
     "PHASE_DISK_IO",
     "PHASE_NVRAM_COPY",
+    "PHASE_FAULT",
     "RPC_PHASES",
 ]

@@ -30,6 +30,7 @@ __all__ = [
     "PHASE_REPLY",
     "PHASE_DISK_IO",
     "PHASE_NVRAM_COPY",
+    "PHASE_FAULT",
     "RPC_PHASES",
 ]
 
@@ -55,6 +56,10 @@ PHASE_REPLY = "reply.delay"
 PHASE_DISK_IO = "disk.io"
 #: One NVRAM acceptance copy (no trace).
 PHASE_NVRAM_COPY = "nvram.copy"
+#: One injected fault's active window (no trace); ``attrs["kind"]`` names
+#: the fault, so exported timelines show crashes and partitions inline
+#: with the RPC lifecycle phases.
+PHASE_FAULT = "fault.inject"
 
 #: The per-request phases the percentile summary reports by default.
 RPC_PHASES = (

@@ -121,6 +121,15 @@ class DuplicateRequestCache:
         """Drop an entry (the request errored before producing a reply)."""
         self._entries.pop(self._key(call), None)
 
+    def reset_volatile(self) -> None:
+        """Drop every entry: the cache is RAM and dies with a server crash.
+
+        Retransmissions of requests served by the old incarnation will be
+        re-executed — the post-reboot behaviour [JUSZ89] accepts, because
+        the alternative (a stable dup cache) costs a disk write per request.
+        """
+        self._entries.clear()
+
     def _trim(self) -> None:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)

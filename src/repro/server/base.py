@@ -377,9 +377,8 @@ class NfsServer:
         self.boot_verifier += 1
         self.last_crash_time = self.env.now
         # The socket buffer and dup cache are RAM.
-        self.endpoint.inbox.items.clear()
-        self.endpoint.inbox.used_bytes = 0
-        self.svc.dup_cache._entries.clear()
+        self.endpoint.inbox.reset_volatile()
+        self.svc.dup_cache.reset_volatile()
         # Parked write descriptors die with the old incarnation; their
         # transport handles go back to the cache without replies.
         queues = getattr(self.write_path, "queues", None)
@@ -387,25 +386,8 @@ class NfsServer:
             for queue in queues:
                 for descriptor in queue.take_all():
                     self.svc.abandon(descriptor.handle)
-        cache = self.ufs.cache
-        cache._buffers.clear()
-        cache._in_flight.clear()
-        self.ufs._in_flight_data.clear()
-        for inode in self.ufs.inodes.values():
-            snapshot = cache.durable.inodes.get(inode.ino)
-            if snapshot is not None:
-                inode.size = snapshot.size
-                inode.mtime = snapshot.mtime
-                inode.direct = list(snapshot.direct)
-                inode.indirect_addr = snapshot.indirect_addr
-            durable_indirect = cache.durable.indirects.get(inode.ino)
-            if durable_indirect is not None:
-                inode.indirect = dict(durable_indirect)
-            elif snapshot is not None and snapshot.indirect_addr is None:
-                inode.indirect = {}
-            inode.inode_dirty = False
-            inode.indirect_dirty = False
-            inode.only_mtime_dirty = False
+        # The buffer cache and in-core inodes revert to the durable image.
+        self.ufs.reset_volatile()
 
     def _rfs_readlink(self, fhandle) -> Generator:
         vnode = self.vnodes.by_fhandle(fhandle)

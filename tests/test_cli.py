@@ -33,6 +33,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["copy", "--write-path", "bogus"])
 
+    def test_net_fault_flags(self):
+        for command in ("copy", "laddis", "sweep"):
+            prefix = [command] if command != "sweep" else ["sweep", "nbiods", "1"]
+            args = build_parser().parse_args(
+                prefix + ["--loss-rate", "0.05", "--net-seed", "9"]
+            )
+            assert args.loss_rate == 0.05
+            assert args.net_seed == 9
+            defaults = build_parser().parse_args(prefix)
+            assert defaults.loss_rate == 0.0
+            assert defaults.net_seed is None
+
 
 class TestWritePathFlags:
     def test_new_flag_selects_path(self, capsys):
@@ -199,3 +211,20 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "capacity" in out
+
+    def test_copy_with_injected_loss_still_converges(self, capsys):
+        assert (
+            main(
+                [
+                    "copy",
+                    "--file-mb",
+                    "0.5",
+                    "--loss-rate",
+                    "0.02",
+                    "--net-seed",
+                    "9",
+                ]
+            )
+            == 0
+        )
+        assert "client write speed" in capsys.readouterr().out

@@ -1,0 +1,190 @@
+"""§6.9: the duplicate request cache under retransmit storms.
+
+The gathering write path deliberately *delays* replies (parked writes,
+procrastination naps), which widens the window in which an impatient
+client retransmits.  The [JUSZ89] cache must hold the line:
+
+* a write parked on the active write queue is ``IN_PROGRESS`` — its
+  retransmission is dropped, not re-executed, and the *original* parked
+  reply still reaches the client when the batch flushes;
+* after a crash the cache is empty (it is volatile state), so the same
+  retransmission is legitimately re-executed by the new incarnation and
+  answered — exactly the v2 statelessness contract.
+
+Requests are driven over a raw endpoint so xids and retransmission
+attempts are under test control.
+"""
+
+from repro.experiments import Testbed, TestbedConfig
+from repro.fs import fsck
+from repro.net import FDDI
+from repro.nfs import WriteArgs
+from repro.rpc import RpcCall
+from repro.workload import write_file
+
+KB = 1024
+DATA_A = b"\xa1" * (8 * KB)
+DATA_B = b"\xb2" * (8 * KB)
+
+
+def make_testbed():
+    config = TestbedConfig(netspec=FDDI, write_path="gather", verify_stable=True)
+    testbed = Testbed(config)
+    setup_client = testbed.add_client()
+    client_ep = testbed.segment.attach("raw")
+    created = {}
+
+    def creator(env):
+        open_file = yield from setup_client.create("victim")
+        created["fhandle"] = open_file.fhandle
+
+    testbed.env.run(until=testbed.env.process(creator(testbed.env)))
+    return testbed, client_ep, created["fhandle"]
+
+
+def write_call(xid, fhandle, offset, data, attempt=1):
+    return RpcCall(
+        xid=xid,
+        proc="write",
+        args=WriteArgs(fhandle, offset, data),
+        size=160 + len(data),
+        client="raw",
+        attempt=attempt,
+    )
+
+
+def collect_replies(env, client_ep):
+    """Spawn a collector that appends every reply payload; returns the list.
+
+    The collector blocks forever once traffic stops; the sim kernel drains
+    around processes parked on never-triggered events.
+    """
+    replies = []
+
+    def collector(env):
+        while True:
+            datagram = yield client_ep.recv()
+            replies.append(datagram.payload)
+
+    env.process(collector(env), name="reply-collector")
+    return replies
+
+
+def test_parked_write_retransmission_dropped_reply_still_arrives():
+    """W1 parks on the active write queue (W2 is its gathering evidence);
+    the retransmission of W1 finds it IN_PROGRESS and is dropped; the
+    eventual batch flush still answers both originals exactly once."""
+    testbed, client_ep, fhandle = make_testbed()
+    env = testbed.env
+    replies = collect_replies(env, client_ep)
+
+    def driver(env):
+        w1 = write_call(101, fhandle, 0, DATA_A)
+        w2 = write_call(102, fhandle, 8 * KB, DATA_B)
+        client_ep.send("server", w1, w1.size)
+        client_ep.send("server", w2, w2.size)
+        # Mid-gather (the FDDI procrastination interval is 5 ms): the
+        # "client" gives up early and retransmits W1.
+        yield env.timeout(0.002)
+        dup = write_call(101, fhandle, 0, DATA_A, attempt=2)
+        client_ep.send("server", dup, dup.size)
+
+    env.run(until=env.process(driver(env)))
+    env.run()  # drain: flush, replies, watchdogs
+
+    assert sorted(r.xid for r in replies) == [101, 102]
+    assert all(r.status == "ok" for r in replies)
+    assert testbed.server.svc.duplicates_dropped.value >= 1
+    assert testbed.server.svc.duplicates_replayed.value == 0
+    # W1 really was parked: a handoff (nfsd- or mbuf-evidence) happened.
+    stats = testbed.server.write_path.stats
+    assert stats.handoffs_nfsd.value + stats.handoffs_mbuf.value >= 1
+    # And the acked data is durable, as every reply promised.
+    ufs = testbed.server.ufs
+    ino = ufs.root.entries["victim"]
+    assert ufs.durable_read(ino, 0, 16 * KB) == DATA_A + DATA_B
+
+
+def test_retransmit_storm_every_duplicate_dropped():
+    """A storm of retransmissions while the original is parked: every one
+    is dropped, and the client still gets exactly one reply per xid."""
+    testbed, client_ep, fhandle = make_testbed()
+    env = testbed.env
+    replies = collect_replies(env, client_ep)
+
+    def driver(env):
+        w1 = write_call(301, fhandle, 0, DATA_A)
+        w2 = write_call(302, fhandle, 8 * KB, DATA_B)
+        client_ep.send("server", w1, w1.size)
+        client_ep.send("server", w2, w2.size)
+        yield env.timeout(0.0015)
+        for attempt in range(2, 5):
+            dup = write_call(301, fhandle, 0, DATA_A, attempt=attempt)
+            client_ep.send("server", dup, dup.size)
+            yield env.timeout(0.0005)
+
+    env.run(until=env.process(driver(env)))
+    env.run()
+
+    assert sorted(r.xid for r in replies) == [301, 302]
+    assert all(r.status == "ok" for r in replies)
+    assert testbed.server.svc.duplicates_dropped.value >= 3
+    ufs = testbed.server.ufs
+    ino = ufs.root.entries["victim"]
+    assert ufs.durable_read(ino, 0, 16 * KB) == DATA_A + DATA_B
+
+
+def test_post_crash_retransmission_is_reexecuted():
+    """The cache is volatile: a crash wipes it along with the unanswered
+    original, so the retransmission is a *new* request to the new
+    incarnation — re-executed, made stable, and answered."""
+    testbed, client_ep, fhandle = make_testbed()
+    env = testbed.env
+    replies = collect_replies(env, client_ep)
+
+    def driver(env):
+        w1 = write_call(201, fhandle, 0, DATA_A)
+        client_ep.send("server", w1, w1.size)
+        # W1 is in its procrastination nap, unanswered, when the server
+        # dies; its dup-cache entry and parked descriptor die with it.
+        yield env.timeout(0.002)
+        testbed.server.simulate_crash()
+        dup = write_call(201, fhandle, 0, DATA_A, attempt=2)
+        client_ep.send("server", dup, dup.size)
+
+    env.run(until=env.process(driver(env)))
+    env.run()
+
+    assert [r.xid for r in replies] == [201]
+    assert replies[0].status == "ok"
+    # The retransmission was executed, not served from the (wiped) cache.
+    assert testbed.server.svc.duplicates_dropped.value == 0
+    assert testbed.server.svc.duplicates_replayed.value == 0
+    assert testbed.server.stable_violations == []
+    ufs = testbed.server.ufs
+    ino = ufs.root.entries["victim"]
+    assert ufs.durable_read(ino, 0, 8 * KB) == DATA_A
+    report = fsck(ufs, strict=False)
+    assert report.clean, report.errors
+
+
+def test_storm_during_normal_copy_converges():
+    """Duplication injected at the *network* level during an ordinary
+    client copy: the dup cache absorbs it and the copy converges."""
+    config = TestbedConfig(netspec=FDDI, write_path="gather", verify_stable=True)
+    testbed = Testbed(config)
+    testbed.segment.set_duplicate_rate(0.3)
+    client = testbed.add_client()
+    env = testbed.env
+    proc = env.process(write_file(env, client, "f", 128 * KB))
+    env.run(until=proc)
+    env.run()
+    dup_hits = (
+        testbed.server.svc.duplicates_dropped.value
+        + testbed.server.svc.duplicates_replayed.value
+    )
+    assert dup_hits > 0
+    assert testbed.server.stable_violations == []
+    ufs = testbed.server.ufs
+    ino = ufs.root.entries["f"]
+    assert len(ufs.durable_read(ino, 0, 128 * KB)) == 128 * KB

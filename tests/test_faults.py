@@ -1,0 +1,232 @@
+"""repro.faults: the controller's apply/revert discipline and the oracle.
+
+Every fault must be a *window*: applied at its trigger, held for its
+duration, then reverted so the testbed returns to nominal — and every
+applied fault must leave an audit record (controller log, and a
+``fault.inject`` span when tracing).  The oracle must actually be able to
+fail: a fabricated ack that never hit the disk is a violation.
+"""
+
+import pytest
+
+from repro.experiments import Testbed, TestbedConfig
+from repro.faults import (
+    AtTime,
+    DatagramDuplication,
+    FaultController,
+    FaultPlan,
+    NetworkPartition,
+    OnSpan,
+    Oracle,
+    PacketLossBurst,
+    ServerCrash,
+    SlowDisk,
+    SockBufShrink,
+    run_plan,
+)
+from repro.net import FDDI
+from repro.obs import PHASE_FAULT, PHASE_PROCRASTINATE, collector_for
+from repro.workload import patterned_chunk, write_file
+
+KB = 1024
+
+
+def build(write_path="gather", tracing=False):
+    config = TestbedConfig(
+        netspec=FDDI, write_path=write_path, verify_stable=True, tracing=tracing
+    )
+    testbed = Testbed(config)
+    client = testbed.add_client()
+    oracle = Oracle(testbed)
+    oracle.attach(client)
+    return testbed, client, oracle
+
+
+def run_copy(testbed, client, oracle, file_kb=64, probes=()):
+    """One file copy under whatever faults are armed; ``probes`` are
+    ``(at, callable)`` pairs sampled mid-run (to see a fault *while* it is
+    applied, before the controller reverts it)."""
+    env = testbed.env
+    samples = {}
+
+    def prober(env, at, probe):
+        yield env.timeout(at)
+        samples[at] = probe()
+
+    for at, probe in probes:
+        env.process(prober(env, at, probe), name=f"probe@{at}")
+    proc = env.process(write_file(env, client, "f", file_kb * KB))
+    env.run(until=proc)
+    env.run()
+    oracle.check("final")
+    return samples
+
+
+def assert_copy_converged(testbed, oracle, file_kb=64):
+    assert oracle.clean, oracle.violations
+    assert testbed.server.stable_violations == []
+    ufs = testbed.server.ufs
+    ino = ufs.root.entries["f"]
+    expected = b"".join(patterned_chunk(i, 8 * KB) for i in range(file_kb // 8))
+    assert ufs.durable_read(ino, 0, file_kb * KB) == expected
+
+
+def test_loss_burst_applies_and_reverts():
+    testbed, client, oracle = build()
+    plan = FaultPlan(
+        "loss", (PacketLossBurst(AtTime(0.02), loss_rate=0.25, duration=0.05),)
+    )
+    controller = FaultController(testbed, plan, oracle=oracle).start()
+    samples = run_copy(
+        testbed, client, oracle, probes=[(0.04, lambda: testbed.segment.loss_rate)]
+    )
+    assert samples[0.04] == 0.25  # applied inside the window
+    assert testbed.segment.loss_rate == 0.0  # reverted after it
+    assert controller.log and controller.log[0]["kind"] == "packet_loss"
+    assert controller.log[0]["end"] == pytest.approx(0.07)
+    assert_copy_converged(testbed, oracle)
+
+
+def test_partition_blocks_traffic_then_heals():
+    testbed, client, oracle = build()
+    host = testbed.server.host
+    plan = FaultPlan("part", (NetworkPartition(AtTime(0.02), duration=0.06),))
+    FaultController(testbed, plan, oracle=oracle).start()
+    samples = run_copy(
+        testbed,
+        client,
+        oracle,
+        probes=[(0.05, lambda: testbed.segment.is_partitioned(host))],
+    )
+    assert samples[0.05] is True
+    assert not testbed.segment.is_partitioned(host)
+    assert testbed.segment.partition_drops.value > 0  # traffic really died
+    assert client.rpc.retransmissions.value > 0  # and the client retried
+    assert_copy_converged(testbed, oracle)
+
+
+def test_duplication_window_exercises_dup_cache():
+    testbed, client, oracle = build()
+    plan = FaultPlan(
+        "dup", (DatagramDuplication(AtTime(0.005), rate=0.5, duration=0.4),)
+    )
+    FaultController(testbed, plan, oracle=oracle).start()
+    run_copy(testbed, client, oracle, file_kb=128)
+    assert testbed.segment.duplicate_rate == 0.0  # reverted
+    assert testbed.segment.duplicated.value > 0
+    dup_hits = (
+        testbed.server.svc.duplicates_dropped.value
+        + testbed.server.svc.duplicates_replayed.value
+    )
+    assert dup_hits > 0
+    assert_copy_converged(testbed, oracle, file_kb=128)
+
+
+def test_slow_disk_applies_and_reverts():
+    testbed, client, oracle = build(write_path="standard")
+    plan = FaultPlan("slow", (SlowDisk(AtTime(0.01), factor=6.0, duration=0.1),))
+    FaultController(testbed, plan, oracle=oracle).start()
+    samples = run_copy(
+        testbed,
+        client,
+        oracle,
+        probes=[(0.05, lambda: [disk.slowdown for disk in testbed.disks])],
+    )
+    assert all(factor == 6.0 for factor in samples[0.05])
+    assert all(disk.slowdown == 1.0 for disk in testbed.disks)
+    assert_copy_converged(testbed, oracle)
+
+
+def test_sockbuf_shrink_clamps_and_restores():
+    testbed, client, oracle = build()
+    inbox = testbed.server.endpoint.inbox
+    nominal = inbox.capacity_bytes
+    plan = FaultPlan(
+        "shrink", (SockBufShrink(AtTime(0.01), capacity_bytes=8192, duration=0.1),)
+    )
+    FaultController(testbed, plan, oracle=oracle).start()
+    samples = run_copy(
+        testbed, client, oracle, probes=[(0.05, lambda: inbox.capacity_bytes)]
+    )
+    assert samples[0.05] == 8192
+    assert inbox.capacity_bytes == nominal
+    assert_copy_converged(testbed, oracle)
+
+
+def test_span_triggered_crash_fires_on_parked_write():
+    """The §6.9 nightmare, on demand: crash exactly when the first
+    procrastination nap closes — a write is sitting on the active write
+    queue, unanswered.  The client must still converge."""
+    testbed, client, oracle = build(tracing=True)
+    plan = FaultPlan(
+        "crash-on-park", (ServerCrash(OnSpan(PHASE_PROCRASTINATE, occurrence=1)),)
+    )
+    controller = FaultController(testbed, plan, oracle=oracle).start()
+    run_copy(testbed, client, oracle, file_kb=128)
+    assert controller.crashes == 1
+    assert client.rpc.retransmissions.value > 0
+    assert oracle.checks >= 2  # at the crash, and at end of run
+    assert controller.log[0]["kind"] == "server_crash"
+    # The fault is visible in the exported timeline.
+    fault_spans = collector_for(testbed.env).by_name(PHASE_FAULT)
+    assert len(fault_spans) == 1 and fault_spans[0].attrs["kind"] == "server_crash"
+    assert_copy_converged(testbed, oracle, file_kb=128)
+
+
+def test_span_plan_requires_tracing():
+    testbed, _client, _oracle = build(tracing=False)
+    plan = FaultPlan("needs-obs", (ServerCrash(OnSpan(PHASE_PROCRASTINATE)),))
+    assert plan.needs_tracing()
+    with pytest.raises(ValueError, match="tracing"):
+        FaultController(testbed, plan).start()
+
+
+def test_unfired_span_trigger_does_not_hang_the_run():
+    """A predicate that never matches leaves its driver parked forever;
+    the run must still drain and the fault must simply not apply."""
+    testbed, client, oracle = build(tracing=True)
+    plan = FaultPlan(
+        "never", (ServerCrash(OnSpan("no.such.phase", occurrence=1)),)
+    )
+    controller = FaultController(testbed, plan, oracle=oracle).start()
+    run_copy(testbed, client, oracle)
+    assert controller.crashes == 0
+    assert controller.log == []
+    assert_copy_converged(testbed, oracle)
+
+
+def test_oracle_catches_fabricated_ack():
+    """The oracle is not vacuous: an ack the durable image cannot back is
+    reported as a violation."""
+    testbed, client, oracle = build()
+    run_copy(testbed, client, oracle)
+    assert oracle.clean
+    oracle.record_ack((99, 0), 0, b"never happened")
+    violations = oracle.check("planted")
+    assert any("not durably readable" in violation for violation in violations)
+    assert not oracle.clean
+
+
+def test_run_plan_is_deterministic():
+    """Same plan + same config twice -> bit-identical result dicts (the
+    property the campaign's byte-stable JSON rests on)."""
+    plan = FaultPlan(
+        "repeat",
+        (
+            PacketLossBurst(AtTime(0.015), loss_rate=0.2, duration=0.04),
+            ServerCrash(AtTime(0.07), reboot_delay=0.1),
+        ),
+    )
+    config = TestbedConfig(
+        netspec=FDDI,
+        write_path="gather",
+        verify_stable=True,
+        tracing=True,
+        seed=11,
+    )
+    first = run_plan(config, plan, file_kb=96)
+    second = run_plan(config, plan, file_kb=96)
+    assert first.to_dict() == second.to_dict()
+    assert first.clean, first.violations
+    assert first.crashes == 1
+    assert first.acked_writes > 0

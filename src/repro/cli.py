@@ -13,6 +13,9 @@ Installed as the ``repro`` console script (also usable as
     repro claims                  # one-screen summary of headline results
     repro copy --loss-rate 0.01   # file copy over a lossy wire
     repro chaos --plans 5 --json  # seeded fault-injection campaign
+    repro cluster --servers 4 --clients 8 --json   # sharded fleet run
+    repro cluster --servers 1 2 4 --clients 8      # scaling sweep
+    repro bench --out BENCH_1.json                 # perf baseline grid
 
 Every handler goes through :func:`repro.experiments.run` with an
 :class:`~repro.experiments.ExperimentSpec`; the CLI only parses arguments
@@ -214,6 +217,94 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--file-mb", type=float, default=4.0)
     _add_net_fault_options(sweep_cmd)
     sweep_cmd.add_argument("--json", action="store_true", help="emit results as JSON")
+
+    cluster_cmd = subparsers.add_parser(
+        "cluster",
+        help="run the sharded server fleet (repro.cluster)",
+        description=(
+            "Stand up N independent NFS servers behind a consistent-hash "
+            "shard map and a client-side mount router, run a seeded "
+            "multi-client write workload, and verify the cluster-wide "
+            "crash contract.  Multiple --servers or --clients values run "
+            "a scaling sweep with a per-cell efficiency table.  Exits 1 "
+            "on any oracle violation."
+        ),
+    )
+    cluster_cmd.add_argument(
+        "--servers",
+        type=int,
+        nargs="+",
+        default=[2],
+        help="fleet size(s); more than one value runs a sweep (default: 2)",
+    )
+    cluster_cmd.add_argument(
+        "--clients",
+        type=int,
+        nargs="+",
+        default=[4],
+        help="client count(s); more than one value runs a sweep (default: 4)",
+    )
+    cluster_cmd.add_argument(
+        "--vnodes", type=int, default=64, help="virtual nodes per server (default: 64)"
+    )
+    cluster_cmd.add_argument(
+        "--racks", type=int, default=1, help="network segments (default: 1)"
+    )
+    cluster_cmd.add_argument("--net", choices=sorted(_NETWORKS), default="fddi")
+    _add_write_path_options(cluster_cmd)
+    cluster_cmd.add_argument("--presto", action="store_true", help="NVRAM on every shard")
+    cluster_cmd.add_argument("--biods", type=int, default=4)
+    cluster_cmd.add_argument("--nfsds", type=int, default=8)
+    cluster_cmd.add_argument(
+        "--file-kb", type=int, default=64, help="size of each written file (default: 64)"
+    )
+    cluster_cmd.add_argument(
+        "--files", type=int, default=2, help="files written per client (default: 2)"
+    )
+    cluster_cmd.add_argument("--seed", type=int, default=0)
+    cluster_cmd.add_argument(
+        "--crash-shard",
+        type=int,
+        default=None,
+        help="crash this shard index mid-run (single-cell runs only)",
+    )
+    cluster_cmd.add_argument(
+        "--crash-at", type=float, default=0.05, help="crash time in seconds (default: 0.05)"
+    )
+    cluster_cmd.add_argument(
+        "--outage",
+        type=float,
+        default=0.0,
+        help="seconds the crashed shard stays partitioned (default: 0)",
+    )
+    cluster_cmd.add_argument(
+        "--redirect",
+        action="store_true",
+        help="drop the crashed shard from the mount map during the outage",
+    )
+    cluster_cmd.add_argument("--json", action="store_true", help="emit the result as JSON")
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the perf-baseline grid and emit BENCH_<n>.json",
+        description=(
+            "One seeded file copy per cell of standard/gather/siva x "
+            "Presto off/on, reporting throughput, p50/p99 write latency, "
+            "and disk writes per MB.  CI uploads the JSON as an artifact "
+            "so perf-affecting PRs have a baseline to diff against."
+        ),
+    )
+    bench.add_argument("--net", choices=sorted(_NETWORKS), default="fddi")
+    bench.add_argument("--file-mb", type=float, default=2.0, help="copy size (default: 2)")
+    bench.add_argument("--biods", type=int, default=7)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the canonical JSON to this file (e.g. BENCH_1.json)",
+    )
+    bench.add_argument("--json", action="store_true", help="print the report as JSON")
     return parser
 
 
@@ -434,6 +525,176 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cluster_config_from_args(args, write_path: WritePath, servers: int):
+    from repro.cluster import ClusterConfig
+
+    return ClusterConfig(
+        servers=servers,
+        vnodes=args.vnodes,
+        racks=args.racks,
+        netspec=_NETWORKS[args.net],
+        write_path=write_path,
+        nbiods=args.biods,
+        nfsds=args.nfsds,
+        presto_bytes=(1 << 20) if args.presto else None,
+        seed=args.seed,
+    )
+
+
+def _print_cluster_result(result) -> None:
+    print(
+        f"cluster: {result.servers} servers x {result.clients} clients, "
+        f"{result.write_path} path, seed {result.seed}"
+    )
+    print(
+        f"  aggregate {result.aggregate_kb_per_sec:.0f} KB/s over "
+        f"{result.total_bytes // 1024} KB in {result.elapsed * 1000:.1f} ms"
+    )
+    ratio = result.mean_gather_ratio()
+    if ratio is not None:
+        print(f"  mean gather ratio {ratio:.3f}")
+    print(f"{'shard':<12} {'files':>5} {'writes':>7} {'disk KB':>8} {'cpu %':>6} {'gather':>7}")
+    for shard in result.per_shard:
+        host = shard["host"]
+        gather = (
+            f"{shard['gather_ratio']:7.3f}" if "gather_ratio" in shard else "      -"
+        )
+        print(
+            f"{host:<12} {result.placement.get(host, 0):>5} "
+            f"{shard['writes_completed']:>7} {shard['disk_bytes'] // 1024:>8} "
+            f"{shard['cpu_pct']:>6.1f} {gather}"
+        )
+    for fault in result.faults:
+        window = f"{fault['start'] * 1000:.1f}-{fault['end'] * 1000:.1f} ms"
+        redirected = " (redirected)" if fault["redirected"] else ""
+        print(f"  fault: {fault['host']} crashed at {window}{redirected}")
+    print(
+        f"  oracle: {result.acked_writes} acked writes, {result.oracle_checks} checks, "
+        f"{result.crashes} crashes, {result.retransmissions} retransmissions"
+    )
+    if result.clean:
+        print("  crash contract held: zero violations")
+    else:
+        print(f"  {len(result.violations)} VIOLATIONS:")
+        for violation in result.violations:
+            print(f"    {violation}")
+
+
+def _cmd_cluster(args) -> int:
+    from repro.cluster import ShardCrash, run_cluster, run_scaling_sweep
+
+    try:
+        write_path = _resolve_write_path(args)
+    except _UsageError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    sweep_mode = len(args.servers) > 1 or len(args.clients) > 1
+    if sweep_mode:
+        if args.crash_shard is not None:
+            print("--crash-shard only applies to single-cell runs", file=sys.stderr)
+            return 2
+        base = _cluster_config_from_args(args, write_path, servers=args.servers[0])
+
+        def progress(row) -> None:
+            if not args.json:
+                print(
+                    f"  ran {row.servers} servers x {row.clients} clients: "
+                    f"{row.aggregate_kb_per_sec:.0f} KB/s"
+                )
+
+        sweep = run_scaling_sweep(
+            base,
+            server_counts=args.servers,
+            client_counts=args.clients,
+            files_per_client=args.files,
+            file_kb=args.file_kb,
+            progress=progress,
+        )
+        if args.json:
+            print(sweep.to_json())
+        else:
+            print(
+                f"{'servers':>8} {'clients':>8} {'KB/s':>9} {'gather':>7} "
+                f"{'efficiency':>10} {'clean':>6}"
+            )
+            for row in sweep.table():
+                gather = (
+                    f"{row['mean_gather_ratio']:7.3f}"
+                    if row["mean_gather_ratio"] is not None
+                    else "      -"
+                )
+                efficiency = (
+                    f"{row['scaling_efficiency']:10.3f}"
+                    if "scaling_efficiency" in row
+                    else "         -"
+                )
+                print(
+                    f"{row['servers']:>8} {row['clients']:>8} "
+                    f"{row['aggregate_kb_per_sec']:>9.0f} {gather} {efficiency} "
+                    f"{'ok' if row['clean'] else 'BAD':>6}"
+                )
+        return 0 if sweep.clean else 1
+    crashes = None
+    if args.crash_shard is not None:
+        crashes = [
+            ShardCrash(
+                at=args.crash_at,
+                shard=args.crash_shard,
+                outage=args.outage,
+                redirect=args.redirect,
+            )
+        ]
+    config = _cluster_config_from_args(args, write_path, servers=args.servers[0])
+    result = run_cluster(
+        config,
+        clients=args.clients[0],
+        files_per_client=args.files,
+        file_kb=args.file_kb,
+        crashes=crashes,
+    )
+    if args.json:
+        print(result.to_json())
+    else:
+        _print_cluster_result(result)
+    return 0 if result.clean else 1
+
+
+def _cmd_bench(args) -> int:
+    from repro.experiments.bench import bench_to_json, run_bench, write_bench
+
+    def progress(cell) -> None:
+        if not args.json:
+            presto = "presto" if cell["presto"] else "plain "
+            print(
+                f"  {cell['write_path']:<8} {presto} "
+                f"{cell['client_kb_per_sec']:>8.1f} KB/s  "
+                f"p50 {cell['write_latency_ms']['p50']:>7.2f} ms  "
+                f"p99 {cell['write_latency_ms']['p99']:>7.2f} ms  "
+                f"{cell['disk_writes_per_mb']:>6.1f} dw/MB"
+            )
+
+    if not args.json:
+        print(
+            f"bench: {args.net}, {args.file_mb} MB copy, {args.biods} biods, "
+            f"seed {args.seed}"
+        )
+    report = run_bench(
+        _NETWORKS[args.net],
+        args.net,
+        file_mb=args.file_mb,
+        biods=args.biods,
+        seed=args.seed,
+        progress=progress,
+    )
+    if args.out:
+        write_bench(report, args.out)
+        if not args.json:
+            print(f"wrote {args.out}")
+    if args.json:
+        print(bench_to_json(report))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -444,6 +705,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "claims": _cmd_claims,
         "chaos": _cmd_chaos,
         "sweep": _cmd_sweep,
+        "cluster": _cmd_cluster,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

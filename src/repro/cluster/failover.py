@@ -1,0 +1,121 @@
+"""Shard failover: crash a shard mid-run, redirect, verify, recover.
+
+The single-server :class:`~repro.faults.controller.FaultController` drives
+faults against *the* server; this controller speaks fleet.  A
+:class:`ShardCrash` names which shard dies and when, how long it stays
+unreachable, and whether the mount map should *redirect* around it while
+it is down:
+
+* **crash** — the shard's volatile state dies
+  (:meth:`NfsServer.simulate_crash`); the cluster oracle immediately
+  checks every shard's crash contract;
+* **outage** — the dead host is partitioned off its rack segment for the
+  duration; clients retransmit into the void exactly as against a dead
+  transceiver;
+* **redirect** — while down, the shard leaves the shard map, so *new*
+  files hash onto the survivors (consistent hashing promotes each of its
+  ring-arc successors); pinned handles keep pointing at the dead shard
+  and their clients simply wait it out — NFS hard-mount semantics;
+* **recovery** — the partition heals and (if redirected) the shard
+  rejoins the map, reclaiming exactly its old arcs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.obs import PHASE_FAULT, collector_for
+
+__all__ = ["ShardCrash", "FailoverController"]
+
+
+@dataclass(frozen=True)
+class ShardCrash:
+    """One scripted shard failure."""
+
+    #: Simulation time of the crash.
+    at: float
+    #: Index of the shard that dies.
+    shard: int
+    #: Seconds the host stays unreachable after the crash (0 = instant
+    #: reboot, the paper's fast-restart assumption).
+    outage: float = 0.0
+    #: Drop the shard from the mount map while it is down, so new files
+    #: route to the survivors.
+    redirect: bool = False
+
+    def describe(self) -> dict:
+        return {
+            "at": self.at,
+            "shard": self.shard,
+            "outage": self.outage,
+            "redirect": self.redirect,
+        }
+
+
+class FailoverController:
+    """Drives scripted :class:`ShardCrash` events against a cluster."""
+
+    def __init__(self, cluster, crashes: Sequence[ShardCrash], oracle=None) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.plan = list(crashes)
+        self.oracle = oracle
+        self.obs = collector_for(self.env)
+        #: Applied events: dicts with shard, times, and recovery actions.
+        self.log: List[dict] = []
+        self.crashes = 0
+
+    def start(self) -> "FailoverController":
+        """Spawn one driver process per planned crash; returns self."""
+        for index, crash in enumerate(self.plan):
+            if not 0 <= crash.shard < len(self.cluster.servers):
+                raise ValueError(
+                    f"crash #{index} names shard {crash.shard}; cluster has "
+                    f"{len(self.cluster.servers)} shards"
+                )
+            self.env.process(
+                self._drive(crash), name=f"failover:{index}:shard{crash.shard}"
+            )
+        return self
+
+    def _drive(self, crash: ShardCrash):
+        if crash.at > self.env.now:
+            yield self.env.timeout(crash.at - self.env.now)
+        server = self.cluster.servers[crash.shard]
+        segment = self.cluster.segment_of(server.host)
+        started = self.env.now
+        server.simulate_crash()
+        self.crashes += 1
+        if self.oracle is not None:
+            self.oracle.check(f"shard-crash#{self.crashes}")
+        redirected = False
+        if crash.outage > 0:
+            segment.partition(server.host)
+            if crash.redirect and len(self.cluster.shard_map) > 1:
+                self.cluster.shard_map.remove_server(server.host)
+                redirected = True
+            yield self.env.timeout(crash.outage)
+            segment.heal(server.host)
+            if redirected:
+                self.cluster.shard_map.add_server(server.host)
+        record = {
+            "kind": "shard_crash",
+            "shard": crash.shard,
+            "host": server.host,
+            "start": started,
+            "end": self.env.now,
+            "outage": crash.outage,
+            "redirected": redirected,
+        }
+        self.log.append(record)
+        if self.obs.enabled:
+            self.obs.emit(
+                PHASE_FAULT,
+                "cluster",
+                started,
+                self.env.now,
+                kind="shard_crash",
+                host=server.host,
+            )

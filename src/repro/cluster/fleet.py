@@ -1,0 +1,298 @@
+"""Fleet construction: N independent NFS servers behind one shard map.
+
+A :class:`Cluster` is the multi-server analogue of
+:class:`~repro.experiments.testbed.Testbed`: one simulation environment,
+one or more shared network segments ("racks"), and N complete server
+stacks — each shard owns its own spindles, optional Presto NVRAM board,
+UFS instance, and nfsd pool, exactly as if it were a standalone testbed
+server.  Shards share nothing but the wire.
+
+Each shard's UFS gets a disjoint inode range (``ino_base``), so file
+handles are unambiguous fleet-wide — the router's pin table and the
+cluster oracle both depend on that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.cluster.router import ClusterRpc, MountRouter
+from repro.cluster.shardmap import ShardMap
+from repro.core.policy import GatherPolicy
+from repro.disk.device import DiskDevice, Storage
+from repro.disk.model import RZ26, DiskSpec
+from repro.disk.stripe import StripeSet
+from repro.fs.ufs import ROOT_INO
+from repro.net.segment import Segment
+from repro.net.spec import FDDI, NetSpec
+from repro.nfs.client import NfsClient
+from repro.nvram.presto import PrestoCache
+from repro.obs import RecordingCollector, install, registry_for
+from repro.rpc.client import RpcClient
+from repro.server.base import NfsServer
+from repro.server.config import ServerConfig, WritePath
+from repro.sim import Environment
+
+__all__ = ["ClusterConfig", "Cluster", "build_cluster"]
+
+#: Inode-number stride between shards: shard k allocates file inodes from
+#: ``(k + 1) * INO_STRIDE`` upward, so handles never collide fleet-wide.
+INO_STRIDE = 1_000_000
+
+
+@dataclass
+class ClusterConfig:
+    """One scale-out configuration: the fleet, the map, and the wire."""
+
+    #: Number of server shards.
+    servers: int = 2
+    #: Virtual nodes per server on the consistent-hash ring.
+    vnodes: int = 64
+    #: Network segments; servers (and client endpoints) spread round-robin
+    #: across racks.  1 = the paper's single shared medium.
+    racks: int = 1
+    netspec: NetSpec = FDDI
+    write_path: WritePath = WritePath.GATHER
+    nbiods: int = 4
+    #: Per-shard NVRAM accelerator: None = off, else capacity in bytes.
+    presto_bytes: Optional[int] = None
+    #: Spindles per shard.
+    stripes: int = 1
+    disk_spec: DiskSpec = RZ26
+    nfsds: int = 8
+    cpu_scale: float = 1.0
+    verify_stable: bool = True
+    gather_policy: GatherPolicy = field(default_factory=GatherPolicy)
+    client_write_cpu: float = 0.0003
+    seed: int = 0
+    loss_rate: float = 0.0
+    net_seed: Optional[int] = None
+    tracing: bool = False
+
+    def __post_init__(self) -> None:
+        self.write_path = WritePath.coerce(self.write_path)
+        if self.servers < 1:
+            raise ValueError(f"need at least one server, got {self.servers}")
+        if not 1 <= self.racks <= self.servers:
+            raise ValueError(
+                f"racks must be in [1, servers]; got {self.racks} racks "
+                f"for {self.servers} servers"
+            )
+
+    def variant(self, **changes) -> "ClusterConfig":
+        """A copy with some fields replaced (sweeps build on this)."""
+        return replace(self, **changes)
+
+
+class Cluster:
+    """A wired-up fleet: environment, racks, shard map, servers, clients."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.env = Environment()
+        self.collector = RecordingCollector() if config.tracing else None
+        if self.collector is not None:
+            install(self.env, self.collector)
+        net_seed = config.seed if config.net_seed is None else config.net_seed
+        self.segments: List[Segment] = [
+            Segment(
+                self.env,
+                config.netspec,
+                name=(
+                    config.netspec.name
+                    if config.racks == 1
+                    else f"{config.netspec.name}.rack{rack}"
+                ),
+                loss_rate=config.loss_rate,
+                seed=net_seed + rack,
+            )
+            for rack in range(config.racks)
+        ]
+        self.servers: List[NfsServer] = []
+        #: Per-shard spindles, parallel to ``servers``.
+        self.disks: List[List[DiskDevice]] = []
+        self._rack_of_server: Dict[str, int] = {}
+        for index in range(config.servers):
+            self._build_server(index)
+        self.shard_map = ShardMap(
+            [server.host for server in self.servers],
+            vnodes=config.vnodes,
+            seed=config.seed,
+        )
+        self.router = MountRouter(self.shard_map, root_fhandle=(ROOT_INO, 0))
+        self.clients: List[NfsClient] = []
+
+    # -- construction -------------------------------------------------------------
+
+    def _build_server(self, index: int) -> NfsServer:
+        config = self.config
+        rack = index % config.racks
+        host = f"server-{index}"
+        disks = [
+            DiskDevice(
+                self.env,
+                config.disk_spec,
+                name=f"{config.disk_spec.name}-s{index}-{spindle}",
+            )
+            for spindle in range(config.stripes)
+        ]
+        base: Storage
+        if config.stripes > 1:
+            base = StripeSet(self.env, disks)
+        else:
+            base = disks[0]
+        storage: Storage = (
+            PrestoCache(self.env, base, capacity=config.presto_bytes)
+            if config.presto_bytes
+            else base
+        )
+        server_config = ServerConfig(
+            nfsds=config.nfsds,
+            write_path=config.write_path,
+            gather_policy=config.gather_policy,
+            verify_stable=config.verify_stable,
+            cpu_scale=config.cpu_scale,
+            ino_base=(index + 1) * INO_STRIDE,
+        )
+        server = NfsServer(
+            self.env,
+            self.segments[rack],
+            storage,
+            host=host,
+            config=server_config,
+        )
+        self.servers.append(server)
+        self.disks.append(disks)
+        self._rack_of_server[host] = rack
+        return server
+
+    def grow(self) -> NfsServer:
+        """Join one more shard mid-run.
+
+        Consistent hashing means only the keys landing in the newcomer's
+        ring arcs move to it; every pinned handle stays where it is (no
+        data migration — growth redirects *future* placement only).
+        """
+        server = self._build_server(len(self.servers))
+        self.shard_map.add_server(server.host)
+        return server
+
+    def add_client(
+        self, nbiods: Optional[int] = None, host: Optional[str] = None
+    ) -> NfsClient:
+        """Attach one client host, with an endpoint on every rack."""
+        name = host or self.segments[0].unique_host("client")
+        rpcs: List[RpcClient] = []
+        for segment in self.segments:
+            endpoint = segment.attach(name)
+            rpcs.append(RpcClient(self.env, endpoint, self.servers[0].host))
+        cluster_rpc = ClusterRpc(rpcs, self.router, self._rack_of_server)
+        client = NfsClient(
+            self.env,
+            cluster_rpc,
+            nbiods=self.config.nbiods if nbiods is None else nbiods,
+            write_cpu=self.config.client_write_cpu,
+        )
+        self.clients.append(client)
+        return client
+
+    # -- topology helpers ---------------------------------------------------------
+
+    def server_by_host(self, host: str) -> NfsServer:
+        for server in self.servers:
+            if server.host == host:
+                return server
+        raise KeyError(f"no shard named {host!r}")
+
+    def segment_of(self, host: str) -> Segment:
+        return self.segments[self._rack_of_server[host]]
+
+    def crash_shard(self, index: int) -> NfsServer:
+        """Crash-and-reboot one shard (volatile state dies, disks survive)."""
+        server = self.servers[index]
+        server.simulate_crash()
+        return server
+
+    # -- measured quantities ------------------------------------------------------
+
+    def disk_stats_totals(self) -> tuple:
+        """(bytes, transactions) across every spindle of every shard."""
+        total_bytes = 0.0
+        total_transactions = 0.0
+        for shard_disks in self.disks:
+            total_bytes += sum(d.stats.bytes.value for d in shard_disks)
+            total_transactions += sum(d.stats.transactions.value for d in shard_disks)
+        return total_bytes, total_transactions
+
+    def stable_violations_total(self) -> int:
+        return sum(len(server.stable_violations) for server in self.servers)
+
+    def per_shard_rollup(self) -> List[dict]:
+        """One metrics record per shard, from the shared registry.
+
+        Includes disk totals, CPU utilization, completed write count and —
+        on the gathering path — the shard's gather instruments (writes,
+        batches, mean batch size, and gather ratio: the fraction of writes
+        that shared their metadata update with at least one peer).
+        """
+        rollup: List[dict] = []
+        for server, shard_disks in zip(self.servers, self.disks):
+            ops = registry_for(self.env).snapshot(prefix=f"{server.host}.ops.")
+            record: dict = {
+                "host": server.host,
+                "rack": self._rack_of_server[server.host],
+                "cpu_pct": round(100.0 * server.cpu.utilization(), 2),
+                "disk_bytes": sum(d.stats.bytes.value for d in shard_disks),
+                "disk_transactions": sum(
+                    d.stats.transactions.value for d in shard_disks
+                ),
+                "disk_writes": sum(d.stats.writes.value for d in shard_disks),
+                "files_created": int(
+                    ops.get(f"{server.host}.ops.create", {}).get("value", 0)
+                ),
+                "writes_completed": int(
+                    ops.get(f"{server.host}.ops.write", {}).get("value", 0)
+                ),
+            }
+            stats = getattr(server.write_path, "stats", None)
+            if stats is not None:
+                record.update(
+                    {
+                        "gather_writes": int(stats.writes.value),
+                        "gather_batches": int(stats.batches.value),
+                        "mean_batch_size": round(stats.mean_batch_size(), 4),
+                        "gather_ratio": round(stats.gather_success_rate(), 4),
+                    }
+                )
+            rollup.append(record)
+        return rollup
+
+    def aggregate_rollup(self) -> dict:
+        """Cluster-wide totals over :meth:`per_shard_rollup`."""
+        shards = self.per_shard_rollup()
+        total_writes = sum(s.get("gather_writes", 0) for s in shards)
+        gathered = sum(
+            s.get("gather_ratio", 0.0) * s.get("gather_writes", 0) for s in shards
+        )
+        aggregate = {
+            "disk_bytes": sum(s["disk_bytes"] for s in shards),
+            "disk_transactions": sum(s["disk_transactions"] for s in shards),
+            "disk_writes": sum(s["disk_writes"] for s in shards),
+            "files_created": sum(s["files_created"] for s in shards),
+            "writes_completed": sum(s["writes_completed"] for s in shards),
+            "mean_cpu_pct": round(
+                sum(s["cpu_pct"] for s in shards) / len(shards), 2
+            ),
+        }
+        if total_writes:
+            aggregate["gather_ratio"] = round(gathered / total_writes, 4)
+        return aggregate
+
+
+def build_cluster(config: ClusterConfig, clients: int = 1) -> Cluster:
+    """Stand up a cluster with ``clients`` attached client hosts."""
+    cluster = Cluster(config)
+    for _ in range(clients):
+        cluster.add_client()
+    return cluster

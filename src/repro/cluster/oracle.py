@@ -1,0 +1,88 @@
+"""The cluster-wide crash contract: no acked write lost on *any* shard.
+
+One :class:`~repro.faults.oracle.Oracle` per shard, plus client-side
+dispatch: when a routed client's stable WRITE is acked, the router's pin
+table says which shard made the promise, and exactly that shard's oracle
+records it.  A check point (each shard crash, and the end of the run)
+asserts every shard's acked-byte image against its own durable storage —
+so a write acked by ``server-2`` that somehow landed on ``server-0``
+shows up as a violation, not a coincidence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.faults.oracle import Oracle
+
+__all__ = ["ClusterOracle"]
+
+
+class ClusterOracle:
+    """Per-shard oracles with router-driven ack dispatch."""
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self._per_shard: Dict[str, Oracle] = {}
+        for server in cluster.servers:
+            self._oracle_for(server.host)
+
+    def _oracle_for(self, host: str) -> Oracle:
+        oracle = self._per_shard.get(host)
+        if oracle is None:
+            oracle = Oracle(env=self.env, server=self.cluster.server_by_host(host))
+            self._per_shard[host] = oracle
+        return oracle
+
+    def shard(self, host: str) -> Oracle:
+        """The one shard's oracle (tests poke at these directly)."""
+        return self._oracle_for(host)
+
+    # -- recording --------------------------------------------------------------
+
+    def attach(self, client) -> None:
+        """Shadow ``client``'s stable acks onto the acking shard's oracle."""
+        router = client.rpc.router
+
+        def record(fhandle, offset: int, data: bytes) -> None:
+            host = router.server_for_fhandle(fhandle)
+            self._oracle_for(host).record_ack(fhandle, offset, data)
+
+        client.on_write_acked = record
+
+    # -- checking ---------------------------------------------------------------
+
+    def check(self, label: str = "final") -> List[str]:
+        """Assert the crash contract on every shard; returns new violations."""
+        found: List[str] = []
+        # Grown shards may have joined since construction.
+        for server in self.cluster.servers:
+            oracle = self._oracle_for(server.host)
+            found.extend(
+                f"{server.host}: {violation}"
+                for violation in oracle.check(label)
+            )
+        return found
+
+    @property
+    def acked_writes(self) -> int:
+        return sum(oracle.acked_writes for oracle in self._per_shard.values())
+
+    @property
+    def checks(self) -> int:
+        return sum(oracle.checks for oracle in self._per_shard.values())
+
+    @property
+    def violations(self) -> List[str]:
+        out: List[str] = []
+        for host in sorted(self._per_shard):
+            out.extend(
+                f"{host}: {violation}"
+                for violation in self._per_shard[host].violations
+            )
+        return out
+
+    @property
+    def clean(self) -> bool:
+        return all(oracle.clean for oracle in self._per_shard.values())

@@ -1,0 +1,182 @@
+"""Client-side mount router: every NFS call resolves to its shard locally.
+
+The router is the cluster's "mount map".  Namespace operations (LOOKUP,
+CREATE, REMOVE, SYMLINK, RENAME) carry a file *name*, which the
+:class:`~repro.cluster.shardmap.ShardMap` places directly.  Data
+operations (READ, WRITE, COMMIT, GETATTR, ...) carry only an opaque file
+handle — so the moment a namespace reply hands the client a handle, the
+router *pins* it to the shard that produced it.  Every subsequent call on
+that handle routes from the pin table: zero extra RPCs, ever.
+
+:class:`ClusterRpc` is the piece the :class:`~repro.nfs.client.NfsClient`
+actually talks to.  It quacks like an :class:`~repro.rpc.client.RpcClient`
+(same ``call`` signature, same ``endpoint`` attribute) but consults the
+router per call, picks the right rack's transport, and feeds namespace
+replies back into the pin table.  The NFS client itself is unchanged — a
+client of a one-server testbed and a client of a 16-shard fleet run the
+identical write path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.fs.vfs import FileHandle
+from repro.nfs.protocol import (
+    PROC_CREATE,
+    PROC_LOOKUP,
+    PROC_REMOVE,
+    PROC_RENAME,
+    PROC_SYMLINK,
+)
+from repro.rpc.client import RpcClient
+from repro.rpc.messages import CLASS_MEDIUM
+
+__all__ = ["MountRouter", "ClusterRpc"]
+
+#: Procs routed by the file name in their args.
+_NAME_PROCS = frozenset((PROC_LOOKUP, PROC_CREATE, PROC_REMOVE, PROC_SYMLINK))
+#: Namespace procs whose reply carries the new/found file handle.
+_PINNING_PROCS = frozenset((PROC_LOOKUP, PROC_CREATE, PROC_SYMLINK))
+
+
+class MountRouter:
+    """Resolves (proc, args) to a server host from the shard map + pins."""
+
+    def __init__(self, shard_map, root_fhandle: FileHandle = (2, 0)) -> None:
+        self.map = shard_map
+        #: The well-known root handle, identical on every shard; root-level
+        #: operations (MOUNT, STATFS, READDIR of the export root) go to the
+        #: map's home shard instead of a pin.
+        self.root_fhandle = root_fhandle
+        #: File handle -> shard host, bound at namespace-reply time.
+        self._fhandle_pins: Dict[FileHandle, str] = {}
+        #: Name -> shard host overrides (currently only RENAME creates
+        #: these: the destination name stays on the source's shard).
+        self._name_pins: Dict[str, str] = {}
+
+    # -- resolution --------------------------------------------------------------
+
+    @property
+    def home(self) -> str:
+        """The shard that answers root-level (nameless) operations."""
+        return self.map.server_for("/")
+
+    def server_for_name(self, name: str) -> str:
+        """Placement of a file name (pin overrides, then the map)."""
+        return self._name_pins.get(name) or self.map.server_for(name)
+
+    def server_for_fhandle(self, fhandle: FileHandle) -> str:
+        """The shard a pinned handle lives on (home for the root handle)."""
+        if fhandle == self.root_fhandle:
+            return self.home
+        try:
+            return self._fhandle_pins[fhandle]
+        except KeyError:
+            raise KeyError(
+                f"file handle {fhandle} is not pinned to any shard — "
+                "it did not come from a routed LOOKUP/CREATE/SYMLINK"
+            ) from None
+
+    def route(self, proc: str, args) -> str:
+        """The destination host for one call."""
+        if proc in _NAME_PROCS:
+            return self.server_for_name(args.name)
+        if proc == PROC_RENAME:
+            return self.server_for_name(args.src_name)
+        fhandle = args if isinstance(args, tuple) else getattr(args, "fhandle", None)
+        if fhandle is not None:
+            return self.server_for_fhandle(fhandle)
+        # MOUNT/UMOUNT carry a path string; anything else nameless is a
+        # root-level operation.
+        return self.home
+
+    # -- learning from replies ----------------------------------------------------
+
+    def observe(self, proc: str, args, server: str, result) -> None:
+        """Fold one successful reply into the pin tables."""
+        if proc in _PINNING_PROCS:
+            fhandle, _fattr = result
+            self._fhandle_pins[fhandle] = server
+        elif proc == PROC_RENAME:
+            # The file stayed on the source shard; future opens of the
+            # destination name must route there, wherever the map would
+            # have put that name.
+            self._name_pins[args.dst_name] = server
+            self._name_pins.pop(args.src_name, None)
+        elif proc == PROC_REMOVE:
+            self._name_pins.pop(args.name, None)
+
+    def pins(self) -> Dict[FileHandle, str]:
+        """A copy of the handle pin table (diagnostics/tests)."""
+        return dict(self._fhandle_pins)
+
+
+class ClusterRpc:
+    """An RpcClient-shaped facade that routes each call to its shard.
+
+    One underlying :class:`RpcClient` per rack segment (each owns one
+    endpoint + receiver); the router picks the shard, the shard's rack
+    picks the transport.  Single-rack clusters degenerate to one
+    transport with a per-call destination override.
+    """
+
+    def __init__(
+        self,
+        rpcs: List[RpcClient],
+        router: MountRouter,
+        rack_of_server: Dict[str, int],
+    ) -> None:
+        if not rpcs:
+            raise ValueError("ClusterRpc needs at least one rack transport")
+        self._rpcs = list(rpcs)
+        self.router = router
+        self._rack_of_server = dict(rack_of_server)
+
+    @property
+    def endpoint(self):
+        """The primary rack's endpoint (metric naming, host identity)."""
+        return self._rpcs[0].endpoint
+
+    def transport_for(self, server: str) -> RpcClient:
+        return self._rpcs[self._rack_of_server.get(server, 0)]
+
+    def call(
+        self,
+        proc: str,
+        args,
+        size: int,
+        reply_size: int = 160,
+        weight: str = CLASS_MEDIUM,
+        server: Optional[str] = None,
+    ) -> Generator:
+        """Route, delegate, and learn pins from the reply."""
+        destination = server or self.router.route(proc, args)
+        rpc = self.transport_for(destination)
+        reply = yield from rpc.call(
+            proc,
+            args,
+            size,
+            reply_size=reply_size,
+            weight=weight,
+            server=destination,
+        )
+        if reply.ok:
+            self.router.observe(proc, args, destination, reply.result)
+        return reply
+
+    # -- aggregated client-side counters ------------------------------------------
+
+    def _sum(self, attribute: str) -> float:
+        # Rack transports share one host name, hence one registry counter;
+        # dedupe by identity so shared instruments count once.
+        counters = {id(c): c for c in (getattr(rpc, attribute) for rpc in self._rpcs)}
+        return sum(counter.value for counter in counters.values())
+
+    @property
+    def retransmissions_total(self) -> float:
+        return self._sum("retransmissions")
+
+    @property
+    def completed_total(self) -> float:
+        return self._sum("completed")

@@ -1,0 +1,124 @@
+"""The perf-trajectory baseline: a seeded, fixed workload over every path.
+
+``repro bench`` runs one deterministic file copy per cell of
+standard/gather/siva × Presto off/on and emits a small JSON document with
+the three numbers future PRs regress against:
+
+* throughput (client KB/s),
+* p50/p99 client-observed write latency (ms),
+* disk writes per MB copied (the metadata-amortization headline).
+
+CI runs it on every push and uploads ``BENCH_<n>.json`` as an artifact,
+so any perf-affecting PR has a baseline to diff against.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.testbed import Testbed, TestbedConfig
+from repro.net.spec import NetSpec
+from repro.obs import registry_for
+from repro.server.config import WritePath
+from repro.workload.sequential import write_file
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_to_json",
+    "run_bench",
+    "run_bench_cell",
+    "write_bench",
+]
+
+BENCH_SCHEMA = "repro.bench/1"
+
+#: The paper's Prestoserve board (1 MB).
+PRESTO_BYTES = 1 << 20
+
+
+def run_bench_cell(
+    config: TestbedConfig, file_mb: float, think_time: float = 0.0005
+) -> dict:
+    """One cell: a seeded sequential copy, measured client- and disk-side."""
+    testbed = Testbed(config)
+    # Pre-register the client's write-latency tally *with samples* before
+    # the client builds (registration is get-or-create), so percentiles
+    # are computable without touching the client code.
+    latency = registry_for(testbed.env).tally(
+        "nfs.client-0.write_latency", keep_samples=True
+    )
+    client = testbed.add_client()
+    env = testbed.env
+    nbytes = int(file_mb * 1024 * 1024)
+    proc = env.process(
+        write_file(env, client, "benchfile", nbytes, think_time=think_time),
+        name="bench",
+    )
+    env.run(until=proc)
+    elapsed = proc.value
+    env.run()  # drain NVRAM destage etc. so disk totals are final
+    total_bytes, total_transactions = testbed.disk_stats_totals()
+    disk_writes = sum(d.stats.writes.value for d in testbed.disks)
+    return {
+        "write_path": str(config.write_path),
+        "presto": bool(config.presto_bytes),
+        "client_kb_per_sec": round(nbytes / elapsed / 1024.0, 2),
+        "elapsed_seconds": round(elapsed, 6),
+        "write_latency_ms": {
+            "mean": round(latency.mean * 1000.0, 4),
+            "p50": round(latency.percentile(0.50) * 1000.0, 4),
+            "p99": round(latency.percentile(0.99) * 1000.0, 4),
+        },
+        "disk_writes_per_mb": round(disk_writes / file_mb, 2),
+        "disk_kb_per_sec": round(total_bytes / elapsed / 1024.0, 2),
+        "disk_trans_per_sec": round(total_transactions / elapsed, 2),
+    }
+
+
+def run_bench(
+    netspec: NetSpec,
+    net_name: str,
+    file_mb: float = 2.0,
+    biods: int = 7,
+    seed: int = 0,
+    progress=None,
+) -> dict:
+    """The full grid: every write path × Presto off/on, one seed.
+
+    Returns a JSON-ready document (stable key order, rounded floats) that
+    is byte-identical across same-seed reruns.
+    """
+    cells = []
+    for write_path in WritePath:
+        for presto in (False, True):
+            config = TestbedConfig(
+                netspec=netspec,
+                write_path=write_path,
+                nbiods=biods,
+                presto_bytes=PRESTO_BYTES if presto else None,
+                seed=seed,
+            )
+            cell = run_bench_cell(config, file_mb)
+            cells.append(cell)
+            if progress is not None:
+                progress(cell)
+    return {
+        "schema": BENCH_SCHEMA,
+        "net": net_name,
+        "file_mb": file_mb,
+        "biods": biods,
+        "seed": seed,
+        "cells": cells,
+    }
+
+
+def bench_to_json(report: dict) -> str:
+    """Canonical serialized form (what lands in ``BENCH_<n>.json``)."""
+    return json.dumps(report, indent=2, sort_keys=True)
+
+
+def write_bench(report: dict, path: str) -> None:
+    """Write the canonical form to ``path`` (trailing newline included)."""
+    with open(path, "w") as handle:
+        handle.write(bench_to_json(report))
+        handle.write("\n")

@@ -25,7 +25,24 @@ from repro.server.base import NfsServer
 from repro.server.config import ServerConfig, WritePath
 from repro.sim import Environment
 
-__all__ = ["TestbedConfig", "Testbed", "build_testbed"]
+__all__ = [
+    "TestbedConfig",
+    "Testbed",
+    "build_testbed",
+    "ClusterConfig",
+    "build_cluster",
+]
+
+
+def __getattr__(name: str):
+    # Fleet construction lives in repro.cluster; re-exported here (lazily,
+    # to avoid an import cycle) so experiment code has one front door for
+    # both single-server and multi-server assembly.
+    if name in ("ClusterConfig", "build_cluster", "Cluster"):
+        import repro.cluster.fleet as fleet
+
+        return getattr(fleet, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -106,9 +123,14 @@ class Testbed:
         self.clients: List[NfsClient] = []
 
     def add_client(self, nbiods: Optional[int] = None, host: Optional[str] = None) -> NfsClient:
-        """Attach one more client host."""
-        index = len(self.clients)
-        endpoint = self.segment.attach(host or f"client-{index}")
+        """Attach one more client host.
+
+        Host names are auto-generated (``client-0``, ``client-1``, ...)
+        skipping any name already attached to the segment, so repeated
+        calls — and calls mixed with explicit ``host=`` names — never
+        collide.
+        """
+        endpoint = self.segment.attach(host or self.segment.unique_host("client"))
         rpc = RpcClient(self.env, endpoint, self.server.host)
         client = NfsClient(
             self.env,

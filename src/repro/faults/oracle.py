@@ -26,12 +26,19 @@ __all__ = ["Oracle"]
 
 
 class Oracle:
-    """Records client-acked writes; diffs them against the durable image."""
+    """Records client-acked writes; diffs them against the durable image.
 
-    def __init__(self, testbed) -> None:
+    Built either from a testbed (the single-server form) or from an
+    explicit ``(env, server)`` pair — a cluster runs one oracle per shard,
+    each checking only the writes that shard acknowledged.
+    """
+
+    def __init__(self, testbed=None, *, env=None, server=None) -> None:
+        if testbed is None and (env is None or server is None):
+            raise ValueError("Oracle needs a testbed or both env= and server=")
         self.testbed = testbed
-        self.env = testbed.env
-        self.server = testbed.server
+        self.env = env if env is not None else testbed.env
+        self.server = server if server is not None else testbed.server
         #: Per-ino expected content, densely indexed from byte 0.
         self._images: Dict[int, bytearray] = {}
         #: Per-ino mask of which bytes have actually been acked (an image

@@ -95,6 +95,7 @@ class Ufs:
         cpu=None,
         costs: Optional[CostModel] = None,
         cache_blocks: int = 4096,
+        ino_base: Optional[int] = None,
     ) -> None:
         self.env = env
         self.storage = storage
@@ -110,6 +111,14 @@ class Ufs:
         root = self._new_inode(FileType.DIRECTORY)
         assert root.ino == ROOT_INO
         self.root = root
+        # A cluster gives each shard a disjoint inode range so file handles
+        # (ino, generation) are unambiguous fleet-wide; the root keeps the
+        # traditional number on every shard so the well-known root handle
+        # works against any server.
+        if ino_base is not None:
+            if ino_base <= ROOT_INO:
+                raise ValueError(f"ino_base must be > {ROOT_INO}, got {ino_base}")
+            self._next_ino = ino_base
 
     # -- small helpers --------------------------------------------------------
 

@@ -84,6 +84,22 @@ class Segment:
     def endpoint(self, host: str) -> UdpEndpoint:
         return self._endpoints[host]
 
+    def has_host(self, host: str) -> bool:
+        """Whether ``host`` is already attached to this segment."""
+        return host in self._endpoints
+
+    def unique_host(self, prefix: str) -> str:
+        """First unattached name in the ``{prefix}-{n}`` sequence.
+
+        Lets testbeds and clusters auto-generate client host names that
+        never collide with hosts already attached (including ones callers
+        attached explicitly under a matching name).
+        """
+        index = 0
+        while f"{prefix}-{index}" in self._endpoints:
+            index += 1
+        return f"{prefix}-{index}"
+
     # -- fault-injection controls (driven by repro.faults) ---------------------
 
     def set_loss_rate(self, rate: float) -> None:

@@ -86,13 +86,18 @@ class MetricsRegistry:
         """Every registered name, sorted."""
         return sorted(self._instruments)
 
-    def snapshot(self) -> Dict[str, dict]:
+    def snapshot(self, prefix: str = "") -> Dict[str, dict]:
         """One summary dict per instrument, keyed by name.
 
-        Deterministic (sorted by name); safe to JSON-serialize.
+        Deterministic (sorted by name); safe to JSON-serialize.  With a
+        ``prefix``, only instruments whose name starts with it are included
+        — how a cluster rolls up one shard's (or one host's) instruments
+        out of the shared registry.
         """
         out: Dict[str, dict] = {}
         for name in self.names():
+            if prefix and not name.startswith(prefix):
+                continue
             instrument = self._instruments[name]
             if isinstance(instrument, Tally):
                 out[name] = {

@@ -102,11 +102,14 @@ class RpcClient:
         size: int,
         reply_size: int = 160,
         weight: str = CLASS_MEDIUM,
+        server: str | None = None,
     ) -> Generator:
         """Send a call and wait (retransmitting as needed) for its reply.
 
         Returns the :class:`RpcReply`.  Never gives up: like a hard NFS
-        mount, it retries until the server answers.
+        mount, it retries until the server answers.  ``server`` overrides
+        the default destination host for this one call (a routed cluster
+        client picks the file's shard here; retransmissions stay on it).
         """
         xid = next(self._xids)
         trace = None
@@ -129,12 +132,13 @@ class RpcClient:
             weight=weight,
             trace=trace,
         )
+        destination = server or self.server
         reply_event = self.env.event()
         self._pending[xid] = reply_event
         started = self.env.now
         try:
             while True:
-                self.endpoint.send(self.server, call, call.size)
+                self.endpoint.send(destination, call, call.size)
                 interval = self.policy.timeout_for(weight, call.attempt)
                 timeout = self.env.timeout(interval)
                 outcome = yield AnyOf(self.env, [reply_event, timeout])

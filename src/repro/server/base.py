@@ -99,6 +99,7 @@ class NfsServer:
             cpu=self.cpu,
             costs=scaled_costs,
             cache_blocks=self.config.cache_blocks,
+            ino_base=self.config.ino_base,
         )
         self.vnodes = VnodeTable(env, self.ufs)
         self.svc = SvcServer(

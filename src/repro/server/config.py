@@ -91,6 +91,10 @@ class ServerConfig:
     cluster_size: int = 65536
     cache_blocks: int = 4096
     fs_costs: CostModel = field(default_factory=CostModel)
+    #: First non-root inode number (``None`` = the traditional sequence).
+    #: A cluster assigns each shard a disjoint range so file handles are
+    #: unambiguous fleet-wide (see ``repro.cluster``).
+    ino_base: "int | None" = None
 
     #: When True, every WRITE reply is checked against the durable image
     #: (stable-storage-before-reply); violations are recorded on the server.

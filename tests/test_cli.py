@@ -228,3 +228,113 @@ class TestCommands:
             == 0
         )
         assert "client write speed" in capsys.readouterr().out
+
+
+class TestClusterCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.servers == [2]
+        assert args.clients == [4]
+        assert args.vnodes == 64
+        assert args.crash_shard is None
+        assert not args.presto
+
+    def test_single_run_human_output(self, capsys):
+        assert main(["cluster", "--servers", "2", "--clients", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 servers x 2 clients" in out
+        assert "crash contract held" in out
+
+    def test_json_shape(self, capsys):
+        assert (
+            main(["cluster", "--servers", "2", "--clients", "2", "--json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["servers"] == 2
+        assert payload["clients"] == 2
+        assert payload["clean"] is True
+        assert len(payload["per_shard"]) == 2
+        assert sum(payload["placement"].values()) == 2 * payload["files_per_client"]
+
+    def test_deprecated_gather_alias_warns(self, capsys):
+        with pytest.warns(DeprecationWarning, match="--gather is deprecated"):
+            assert main(["cluster", "--clients", "1", "--gather"]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "gather path" in captured.out
+
+    def test_deprecated_siva_alias_warns(self, capsys):
+        with pytest.warns(DeprecationWarning, match="--siva is deprecated"):
+            assert (
+                main(["cluster", "--clients", "1", "--siva", "--json"]) == 0
+            )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["write_path"] == str(WritePath.SIVA)
+
+    def test_crash_run_exits_zero_when_contract_holds(self, capsys):
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--servers",
+                    "3",
+                    "--clients",
+                    "3",
+                    "--crash-shard",
+                    "1",
+                    "--crash-at",
+                    "0.05",
+                    "--outage",
+                    "0.2",
+                    "--redirect",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["crashes"] == 1
+        assert payload["faults"][0]["redirected"] is True
+
+    def test_sweep_mode_prints_efficiency_table(self, capsys):
+        assert (
+            main(["cluster", "--servers", "1", "2", "--clients", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "efficiency" in out
+        assert "ok" in out
+
+    def test_sweep_rejects_crash_flags(self, capsys):
+        assert (
+            main(["cluster", "--servers", "1", "2", "--crash-shard", "0"]) == 2
+        )
+        assert "single-cell" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.net == "fddi"
+        assert args.file_mb == 2.0
+        assert args.biods == 7
+        assert args.out is None
+
+    def test_json_shape(self, capsys):
+        assert main(["bench", "--file-mb", "0.25", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.bench/1"
+        assert len(payload["cells"]) == 6  # 3 write paths x presto off/on
+        for cell in payload["cells"]:
+            assert {"p50", "p99", "mean"} <= set(cell["write_latency_ms"])
+            assert cell["client_kb_per_sec"] > 0
+            assert cell["disk_writes_per_mb"] > 0
+
+    def test_out_file_written_and_deterministic(self, tmp_path, capsys):
+        first = tmp_path / "BENCH_a.json"
+        second = tmp_path / "BENCH_b.json"
+        assert main(["bench", "--file-mb", "0.25", "--out", str(first)]) == 0
+        assert main(["bench", "--file-mb", "0.25", "--out", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+        payload = json.loads(first.read_text())
+        assert payload["file_mb"] == 0.25

@@ -1,0 +1,107 @@
+"""Property tests for the consistent-hash shard map (repro.cluster.shardmap)."""
+
+import pytest
+
+from repro.cluster.shardmap import ShardMap
+
+SERVERS = ["server-0", "server-1", "server-2", "server-3"]
+KEYS = [f"client-{c}-f{i}" for c in range(8) for i in range(25)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_placement(self):
+        a = ShardMap(SERVERS, vnodes=64, seed=7)
+        b = ShardMap(SERVERS, vnodes=64, seed=7)
+        assert [a.server_for(k) for k in KEYS] == [b.server_for(k) for k in KEYS]
+
+    def test_placement_independent_of_server_order(self):
+        a = ShardMap(SERVERS, vnodes=64, seed=7)
+        b = ShardMap(list(reversed(SERVERS)), vnodes=64, seed=7)
+        assert [a.server_for(k) for k in KEYS] == [b.server_for(k) for k in KEYS]
+
+    def test_different_seed_moves_keys(self):
+        a = ShardMap(SERVERS, vnodes=64, seed=0)
+        b = ShardMap(SERVERS, vnodes=64, seed=1)
+        moved = sum(a.server_for(k) != b.server_for(k) for k in KEYS)
+        assert moved > 0
+
+    def test_placement_is_stable_across_processes(self):
+        # blake2b positions, not Python hash(): pin a few absolute
+        # placements so hash-randomization regressions are caught.
+        shard_map = ShardMap(SERVERS, vnodes=64, seed=0)
+        snapshot = {key: shard_map.server_for(key) for key in KEYS[:6]}
+        assert snapshot == {
+            "client-0-f0": "server-3",
+            "client-0-f1": "server-1",
+            "client-0-f2": "server-2",
+            "client-0-f3": "server-3",
+            "client-0-f4": "server-2",
+            "client-0-f5": "server-2",
+        }
+
+
+class TestBalance:
+    def test_vnodes_spread_load(self):
+        shard_map = ShardMap(SERVERS, vnodes=64, seed=0)
+        load = shard_map.load(KEYS)
+        expected = len(KEYS) / len(SERVERS)
+        for server in SERVERS:
+            assert load[server] == pytest.approx(expected, rel=0.5)
+
+    def test_more_vnodes_balance_better(self):
+        def spread(vnodes):
+            load = ShardMap(SERVERS, vnodes=vnodes, seed=0).load(KEYS)
+            return max(load.values()) - min(load.values())
+
+        assert spread(128) <= spread(4)
+
+    def test_every_server_serves_some_keys(self):
+        shard_map = ShardMap(SERVERS, vnodes=32, seed=3)
+        assignments = shard_map.assignments(KEYS)
+        assert set(assignments.values()) == set(SERVERS)
+        assert shard_map.describe()["ring_points"] == 32 * len(SERVERS)
+
+
+class TestMinimalMovement:
+    def test_add_server_only_moves_keys_to_it(self):
+        shard_map = ShardMap(SERVERS, vnodes=64, seed=0)
+        before = {k: shard_map.server_for(k) for k in KEYS}
+        shard_map.add_server("server-4")
+        for key in KEYS:
+            after = shard_map.server_for(key)
+            if after != before[key]:
+                assert after == "server-4"
+
+    def test_remove_server_only_moves_its_keys(self):
+        shard_map = ShardMap(SERVERS, vnodes=64, seed=0)
+        before = {k: shard_map.server_for(k) for k in KEYS}
+        shard_map.remove_server("server-2")
+        for key in KEYS:
+            if before[key] != "server-2":
+                assert shard_map.server_for(key) == before[key]
+
+    def test_remove_then_add_restores_placement(self):
+        shard_map = ShardMap(SERVERS, vnodes=64, seed=0)
+        before = {k: shard_map.server_for(k) for k in KEYS}
+        shard_map.remove_server("server-1")
+        shard_map.add_server("server-1")
+        assert {k: shard_map.server_for(k) for k in KEYS} == before
+
+    def test_add_moves_roughly_one_over_n(self):
+        shard_map = ShardMap(SERVERS, vnodes=64, seed=0)
+        before = {k: shard_map.server_for(k) for k in KEYS}
+        shard_map.add_server("server-4")
+        moved = sum(shard_map.server_for(k) != before[k] for k in KEYS)
+        # Ideal is len(KEYS)/5 = 40; allow generous slack but far less
+        # than a full reshuffle (which would move ~4/5 of the keys).
+        assert 0 < moved < len(KEYS) / 2
+
+    def test_cannot_remove_last_server(self):
+        shard_map = ShardMap(["only"], vnodes=8, seed=0)
+        with pytest.raises(ValueError):
+            shard_map.remove_server("only")
+
+    def test_duplicate_add_rejected(self):
+        shard_map = ShardMap(SERVERS, vnodes=8, seed=0)
+        with pytest.raises(ValueError):
+            shard_map.add_server("server-0")

@@ -16,6 +16,8 @@ Installed as the ``repro`` console script (also usable as
     repro cluster --servers 4 --clients 8 --json   # sharded fleet run
     repro cluster --servers 1 2 4 --clients 8      # scaling sweep
     repro bench --out BENCH_1.json                 # perf baseline grid
+    repro overload --json         # goodput-vs-load sweep past saturation
+    repro overload --no-adapt     # the collapse curve alone
 
 Every handler goes through :func:`repro.experiments.run` with an
 :class:`~repro.experiments.ExperimentSpec`; the CLI only parses arguments
@@ -284,6 +286,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster_cmd.add_argument("--json", action="store_true", help="emit the result as JSON")
 
+    overload = subparsers.add_parser(
+        "overload",
+        help="goodput-vs-load sweep past saturation (repro.overload)",
+        description=(
+            "Drive a client fleet past server saturation through a "
+            "mid-run retransmit storm, comparing the paper-era static "
+            "1.1 s retransmission schedule against the adaptive stack "
+            "(Van Jacobson RTO with Karn's rule and seeded jitter, an "
+            "AIMD write window, and server admission control with "
+            "dup-cache-aware shedding).  Each combo also crashes the "
+            "server mid-storm and asserts that every client-acked write "
+            "survived.  Exits 1 on any crash-contract violation, a "
+            "non-monotone adaptive curve, or adaptive goodput below "
+            "static at the top load."
+        ),
+    )
+    overload.add_argument("--seed", type=int, default=0, help="sweep seed (default: 0)")
+    overload.add_argument(
+        "--write-paths",
+        nargs="+",
+        choices=[member.value for member in WritePath],
+        default=[member.value for member in WritePath],
+        help="write paths to sweep (default: all)",
+    )
+    overload.add_argument(
+        "--presto",
+        choices=["off", "on", "both"],
+        default="both",
+        help="NVRAM accelerator arms to run (default: both)",
+    )
+    overload.add_argument(
+        "--loads",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="KBS",
+        help="per-client offered rates in KB/s, ascending "
+        "(default: 3.9 7.8 15.6 46.9 156.2 468.8)",
+    )
+    overload.add_argument(
+        "--clients", type=int, default=12, help="fleet size (default: 12)"
+    )
+    overload.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        help="measured window per point, seconds (default: 5)",
+    )
+    overload.add_argument(
+        "--no-adapt",
+        action="store_true",
+        help="run only the static (no-adaptation) curve",
+    )
+    overload.add_argument(
+        "--adapt-only",
+        action="store_true",
+        help="run only the adaptive curve",
+    )
+    overload.add_argument("--json", action="store_true", help="emit the full report as JSON")
+
     bench = subparsers.add_parser(
         "bench",
         help="run the perf-baseline grid and emit BENCH_<n>.json",
@@ -462,6 +524,69 @@ def _cmd_chaos(args) -> int:
             for violation in report.violations:
                 print(f"  {violation}")
     return 0 if report.clean else 1
+
+
+def _cmd_overload(args) -> int:
+    from repro.overload import MODES, OverloadConfig, run_overload
+
+    if args.no_adapt and args.adapt_only:
+        print("--no-adapt and --adapt-only are mutually exclusive", file=sys.stderr)
+        return 2
+    modes = MODES
+    if args.no_adapt:
+        modes = ("static",)
+    elif args.adapt_only:
+        modes = ("adaptive",)
+    presto_modes = {"off": (False,), "on": (True,), "both": (False, True)}[args.presto]
+    kwargs = {}
+    if args.loads is not None:
+        kwargs["loads"] = tuple(int(round(kb * 1024)) for kb in args.loads)
+    config = OverloadConfig(
+        seed=args.seed,
+        write_paths=tuple(args.write_paths),
+        presto_modes=presto_modes,
+        modes=modes,
+        clients=args.clients,
+        duration=args.duration,
+        **kwargs,
+    )
+
+    def progress(line: str) -> None:
+        if not args.json:
+            print(f"  {line}")
+
+    if not args.json:
+        loads_kbs = ", ".join(f"{rate / 1024:.1f}" for rate in config.loads)
+        print(
+            f"overload sweep: seed={config.seed}, {config.clients} clients, "
+            f"loads [{loads_kbs}] KB/s each, modes {'+'.join(config.modes)}"
+        )
+    report = run_overload(config, progress=progress)
+    if args.json:
+        print(report.to_json())
+    else:
+        for combo in report.combos:
+            tag = f"{combo['write_path']}/presto={'on' if combo['presto'] else 'off'}"
+            for mode, curve in combo["curves"].items():
+                shape = "COLLAPSE" if curve["collapse"] else (
+                    "plateau" if curve["monotone_nondecreasing"] else "noisy"
+                )
+                print(f"  {tag:<24} {mode:<8} top {curve['goodput_kbs'][-1]:7.1f} KB/s  {shape}")
+            verdict = combo.get("verdict")
+            if verdict is not None:
+                outcome = "holds" if verdict["adaptation_wins"] else "FAILS"
+                print(
+                    f"  {tag:<24} adaptation {outcome}: "
+                    f"{verdict['adaptive_top_goodput_kbs']:.1f} vs "
+                    f"{verdict['static_top_goodput_kbs']:.1f} KB/s at top load"
+                )
+        if report.clean:
+            print("crash contract held: zero violations")
+        else:
+            print(f"{len(report.violations)} VIOLATIONS:")
+            for violation in report.violations:
+                print(f"  {violation}")
+    return 0 if report.clean and report.adaptation_holds else 1
 
 
 def _parse_value(text: str):
@@ -704,6 +829,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "laddis": _cmd_laddis,
         "claims": _cmd_claims,
         "chaos": _cmd_chaos,
+        "overload": _cmd_overload,
         "sweep": _cmd_sweep,
         "cluster": _cmd_cluster,
         "bench": _cmd_bench,

@@ -69,6 +69,11 @@ class ClusterConfig:
     loss_rate: float = 0.0
     net_seed: Optional[int] = None
     tracing: bool = False
+    #: Per-shard retry budget for routed calls (repro.overload): the
+    #: transmissions a client spends on one shard before re-resolving the
+    #: route (failover redirect) or surfacing ETIMEDOUT.  None = retry
+    #: forever, the hard-mount behaviour.
+    failover_attempts: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.write_path = WritePath.coerce(self.write_path)
@@ -187,7 +192,12 @@ class Cluster:
         for segment in self.segments:
             endpoint = segment.attach(name)
             rpcs.append(RpcClient(self.env, endpoint, self.servers[0].host))
-        cluster_rpc = ClusterRpc(rpcs, self.router, self._rack_of_server)
+        cluster_rpc = ClusterRpc(
+            rpcs,
+            self.router,
+            self._rack_of_server,
+            failover_attempts=self.config.failover_attempts,
+        )
         client = NfsClient(
             self.env,
             cluster_rpc,

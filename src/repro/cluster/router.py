@@ -29,7 +29,7 @@ from repro.nfs.protocol import (
     PROC_RENAME,
     PROC_SYMLINK,
 )
-from repro.rpc.client import RpcClient
+from repro.rpc.client import RpcClient, RpcTimeoutError
 from repro.rpc.messages import CLASS_MEDIUM
 
 __all__ = ["MountRouter", "ClusterRpc"]
@@ -126,12 +126,23 @@ class ClusterRpc:
         rpcs: List[RpcClient],
         router: MountRouter,
         rack_of_server: Dict[str, int],
+        failover_attempts: Optional[int] = None,
     ) -> None:
         if not rpcs:
             raise ValueError("ClusterRpc needs at least one rack transport")
+        if failover_attempts is not None and failover_attempts < 1:
+            raise ValueError(
+                f"failover_attempts must be >= 1, got {failover_attempts}"
+            )
         self._rpcs = list(rpcs)
         self.router = router
         self._rack_of_server = dict(rack_of_server)
+        #: Per-shard retry budget (repro.overload): transmissions against
+        #: one shard before the router re-resolves the route.  During a
+        #: failover outage the budget turns an infinitely stranded call
+        #: into either a redirect (the map moved the shard's arcs) or a
+        #: terminal RpcTimeoutError.  None = hard-mount: retry forever.
+        self.failover_attempts = failover_attempts
 
     @property
     def endpoint(self):
@@ -150,17 +161,34 @@ class ClusterRpc:
         weight: str = CLASS_MEDIUM,
         server: Optional[str] = None,
     ) -> Generator:
-        """Route, delegate, and learn pins from the reply."""
+        """Route, delegate, and learn pins from the reply.
+
+        With a per-shard retry budget, a call that exhausts it against one
+        shard re-resolves its route: if the map has since redirected the
+        name (failover moved the dead shard's arcs), the call moves to the
+        new shard with a fresh budget; if the route is unchanged, the
+        timeout is terminal and propagates (soft-mount semantics).
+        """
         destination = server or self.router.route(proc, args)
-        rpc = self.transport_for(destination)
-        reply = yield from rpc.call(
-            proc,
-            args,
-            size,
-            reply_size=reply_size,
-            weight=weight,
-            server=destination,
-        )
+        while True:
+            rpc = self.transport_for(destination)
+            try:
+                reply = yield from rpc.call(
+                    proc,
+                    args,
+                    size,
+                    reply_size=reply_size,
+                    weight=weight,
+                    server=destination,
+                    max_attempts=self.failover_attempts,
+                )
+            except RpcTimeoutError:
+                rerouted = server or self.router.route(proc, args)
+                if rerouted != destination:
+                    destination = rerouted
+                    continue
+                raise
+            break
         if reply.ok:
             self.router.observe(proc, args, destination, reply.result)
         return reply

@@ -79,6 +79,7 @@ class GatherStats:
         self.handoffs_mbuf = metrics.counter(f"{prefix}.handoffs.mbuf")
         self.watchdog_sweeps = metrics.counter(f"{prefix}.watchdog_sweeps")
         self.skipped_procrastinations = metrics.counter(f"{prefix}.learned_skips")
+        self.forced_flushes = metrics.counter(f"{prefix}.forced_flushes")
 
     def gather_success_rate(self) -> float:
         """Fraction of writes that shared their metadata update.
@@ -180,6 +181,16 @@ class GatheringWritePath:
             procrastinations = 0
             while True:
                 self.state_table.set(nfsd_id, STAGE_GATHER_WAIT, vnode.ino)
+                # Backpressure: at the parked-descriptor cap, stop looking
+                # for followers and flush right now — under a retransmit
+                # storm the "evidence of more writes coming" never dries
+                # up, and every parked reply pins a handle and its data.
+                if (
+                    self.policy.max_parked is not None
+                    and len(queue) >= self.policy.max_parked
+                ):
+                    self.stats.forced_flushes.add(1)
+                    break
                 # Look for another nfsd blocked on the same vnode (or about
                 # to be: decoding a write for this file).
                 if vnode.waiters() > 0 or self.state_table.another_write_incoming(

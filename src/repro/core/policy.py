@@ -52,10 +52,18 @@ class GatherPolicy:
     #: A client is deemed non-gathering once this many of its recent writes
     #: produced singleton batches (learned_clients mode).
     learned_threshold: int = 8
+    #: Backpressure (repro.overload): cap on parked write descriptors per
+    #: active write queue.  At the cap the nfsd stops parking/handing off
+    #: and flushes immediately, so a retransmit storm cannot amass
+    #: unbounded parked replies (each pins a transport handle and its
+    #: data).  None = unbounded, the paper's behaviour.
+    max_parked: Optional[int] = 64
 
     def __post_init__(self) -> None:
         if self.max_procrastinations < 0:
             raise ValueError("max_procrastinations must be >= 0")
+        if self.max_parked is not None and self.max_parked < 1:
+            raise ValueError("max_parked must be >= 1 (or None for unbounded)")
         if self.reply_order not in (REPLY_FIFO, REPLY_LIFO):
             raise ValueError(f"unknown reply order {self.reply_order!r}")
         if self.watchdog_factor <= 0:

@@ -70,6 +70,16 @@ class TestbedConfig:
     #: When True, the testbed installs a :class:`~repro.obs.RecordingCollector`
     #: so every layer emits lifecycle spans (off by default: zero cost).
     tracing: bool = False
+    #: Server UDP socket buffer (bytes); None = the ServerConfig default
+    #: (the paper's .25M DEC OSF/1 maximum).  The overload experiment
+    #: shrinks this to model period-realistic receive buffers.
+    sockbuf_bytes: Optional[int] = None
+    #: Server admission control (repro.overload): cap on queued requests.
+    #: None = no admission queue (shed only by silent byte overflow).
+    admission_max_requests: Optional[int] = None
+    #: Shed policy when the admission cap is hit: "drop-newest",
+    #: "drop-oldest", or "early-reply".
+    shed_policy: str = "drop-newest"
 
     def __post_init__(self) -> None:
         self.write_path = WritePath.coerce(self.write_path)
@@ -112,31 +122,47 @@ class Testbed:
             )
         else:
             self.storage = base
+        server_kwargs = {}
+        if config.sockbuf_bytes is not None:
+            server_kwargs["socket_buffer_bytes"] = config.sockbuf_bytes
         server_config = ServerConfig(
             nfsds=config.nfsds,
             write_path=config.write_path,
             gather_policy=config.gather_policy,
             verify_stable=config.verify_stable,
             cpu_scale=config.cpu_scale,
+            admission_max_requests=config.admission_max_requests,
+            shed_policy=config.shed_policy,
+            **server_kwargs,
         )
         self.server = NfsServer(self.env, self.segment, self.storage, config=server_config)
         self.clients: List[NfsClient] = []
 
-    def add_client(self, nbiods: Optional[int] = None, host: Optional[str] = None) -> NfsClient:
+    def add_client(
+        self,
+        nbiods: Optional[int] = None,
+        host: Optional[str] = None,
+        policy=None,
+        write_window=None,
+    ) -> NfsClient:
         """Attach one more client host.
 
         Host names are auto-generated (``client-0``, ``client-1``, ...)
         skipping any name already attached to the segment, so repeated
         calls — and calls mixed with explicit ``host=`` names — never
-        collide.
+        collide.  ``policy`` overrides the RPC retransmission policy (e.g.
+        an overload :class:`~repro.overload.rto.AdaptiveRetryPolicy`);
+        ``write_window`` installs an AIMD
+        :class:`~repro.overload.window.WriteWindow` on the biod pool.
         """
         endpoint = self.segment.attach(host or self.segment.unique_host("client"))
-        rpc = RpcClient(self.env, endpoint, self.server.host)
+        rpc = RpcClient(self.env, endpoint, self.server.host, policy=policy)
         client = NfsClient(
             self.env,
             rpc,
             nbiods=self.config.nbiods if nbiods is None else nbiods,
             write_cpu=self.config.client_write_cpu,
+            write_window=write_window,
         )
         self.clients.append(client)
         return client

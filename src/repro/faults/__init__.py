@@ -31,6 +31,7 @@ from repro.faults.events import (
     NetworkPartition,
     OnSpan,
     PacketLossBurst,
+    RetransmitStorm,
     ServerCrash,
     SlowDisk,
     SockBufShrink,
@@ -49,6 +50,7 @@ __all__ = [
     "DatagramReorder",
     "SlowDisk",
     "SockBufShrink",
+    "RetransmitStorm",
     "FaultController",
     "Oracle",
     "ChaosCampaign",

@@ -29,6 +29,7 @@ from repro.faults.events import (
     NetworkPartition,
     OnSpan,
     PacketLossBurst,
+    RetransmitStorm,
     ServerCrash,
     SlowDisk,
     SockBufShrink,
@@ -138,7 +139,7 @@ class CampaignReport:
 def _random_event(rng: random.Random, at: float):
     """One non-crash adversity starting at sim time ``at``."""
     kind = rng.choice(
-        ("loss", "partition", "duplication", "reorder", "slow_disk", "sockbuf")
+        ("loss", "partition", "duplication", "reorder", "slow_disk", "sockbuf", "storm")
     )
     trigger = AtTime(at)
     if kind == "loss":
@@ -168,10 +169,17 @@ def _random_event(rng: random.Random, at: float):
             factor=round(rng.uniform(2.0, 8.0), 2),
             duration=round(rng.uniform(0.05, 0.25), 3),
         )
-    return SockBufShrink(
+    if kind == "sockbuf":
+        return SockBufShrink(
+            trigger,
+            capacity_bytes=rng.choice((8192, 16384, 32768)),
+            duration=round(rng.uniform(0.05, 0.2), 3),
+        )
+    return RetransmitStorm(
         trigger,
-        capacity_bytes=rng.choice((8192, 16384, 32768)),
-        duration=round(rng.uniform(0.05, 0.2), 3),
+        loss_rate=round(rng.uniform(0.1, 0.35), 3),
+        capacity_bytes=rng.choice((16384, 24576, 32768)),
+        duration=round(rng.uniform(0.05, 0.25), 3),
     )
 
 
@@ -289,7 +297,9 @@ class ChaosCampaign:
 
     def config_for(self, write_path: str, presto: bool) -> TestbedConfig:
         # Tracing is always on: span-triggered faults need it, and fault
-        # windows land in the exported timeline.
+        # windows land in the exported timeline.  Admission control runs
+        # with the dup-cache-aware shed policy so RetransmitStorm events
+        # exercise the repro.overload backpressure path under chaos.
         return TestbedConfig(
             netspec=self.netspec,
             write_path=write_path,
@@ -297,6 +307,8 @@ class ChaosCampaign:
             verify_stable=True,
             seed=self.seed,
             tracing=True,
+            admission_max_requests=64,
+            shed_policy="early-reply",
         )
 
     def run(self) -> CampaignReport:

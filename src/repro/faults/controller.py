@@ -28,6 +28,7 @@ from repro.faults.events import (
     NetworkPartition,
     OnSpan,
     PacketLossBurst,
+    RetransmitStorm,
     ServerCrash,
     SlowDisk,
     SockBufShrink,
@@ -160,6 +161,16 @@ class FaultController:
             def restore(inbox=inbox, capacity=previous_capacity):
                 inbox.capacity_bytes = capacity
             return restore
+        if isinstance(event, RetransmitStorm):
+            inbox = server.endpoint.inbox
+            previous_capacity = inbox.capacity_bytes
+            previous_loss = segment.loss_rate
+            inbox.capacity_bytes = min(previous_capacity, event.capacity_bytes)
+            segment.set_loss_rate(event.loss_rate)
+            def calm(inbox=inbox, capacity=previous_capacity, loss=previous_loss):
+                inbox.capacity_bytes = capacity
+                segment.set_loss_rate(loss)
+            return calm
         raise TypeError(f"unknown fault event {type(event).__name__}")
 
     def _record(self, event: FaultEvent, started: float, ended: float) -> None:

@@ -31,6 +31,7 @@ __all__ = [
     "DatagramReorder",
     "SlowDisk",
     "SockBufShrink",
+    "RetransmitStorm",
     "FaultPlan",
 ]
 
@@ -188,6 +189,24 @@ class SockBufShrink(FaultEvent):
     duration: float = 0.2
 
 
+@dataclass(frozen=True)
+class RetransmitStorm(FaultEvent):
+    """Manufacture NFS-over-UDP congestion collapse: clamp the server's
+    socket buffer *and* raise frame loss for a window.
+
+    Loss makes clients time out; the shrunken buffer makes their
+    synchronized retransmissions overflow it; the overflow drops fresh
+    work, which times out in turn — the feedback loop §4.2 hints at.  The
+    ``repro.overload`` shed policies and adaptive retransmission exist to
+    break exactly this loop, so chaos campaigns include it to exercise
+    them.
+    """
+
+    loss_rate: float = 0.25
+    capacity_bytes: int = 24 * 1024
+    duration: float = 0.3
+
+
 _KIND_OF = {
     ServerCrash: "server_crash",
     PacketLossBurst: "packet_loss",
@@ -196,6 +215,7 @@ _KIND_OF = {
     DatagramReorder: "reorder",
     SlowDisk: "slow_disk",
     SockBufShrink: "sockbuf_shrink",
+    RetransmitStorm: "retransmit_storm",
 }
 
 

@@ -83,6 +83,15 @@ class Oracle:
             runs.append((start, len(mask)))
         return runs
 
+    def acked_byte_total(self) -> int:
+        """Total bytes currently covered by stable-write acknowledgements.
+
+        The overload experiment's goodput numerator: work the server
+        *promised* (acked stably), not merely work clients offered —
+        retransmitted duplicates and timed-out attempts never count.
+        """
+        return sum(sum(1 for flag in mask if flag) for mask in self._acked.values())
+
     # -- checking ---------------------------------------------------------------
 
     def check(self, label: str = "final") -> List[str]:

@@ -29,12 +29,18 @@ class SocketBuffer:
         self.items: Deque[Datagram] = deque()
         self.used_bytes = 0
         self._getters: Deque[Event] = deque()
+        #: Optional admission controller (repro.overload): consulted before
+        #: the byte-capacity check; False from its ``admit`` sheds the
+        #: arriving datagram deliberately instead of by silent overflow.
+        self.admission = None
 
     def __len__(self) -> int:
         return len(self.items)
 
     def try_put(self, datagram: Datagram) -> bool:
         """Queue a datagram, or return False (drop) if it does not fit."""
+        if self.admission is not None and not self.admission.admit(self, datagram):
+            return False
         if self.used_bytes + datagram.size > self.capacity_bytes:
             return False
         datagram.arrived_at = self.env.now
@@ -54,6 +60,16 @@ class SocketBuffer:
         if self.items and not self._getters:
             return self._pop()
         return None
+
+    def evict_oldest(self) -> Optional[Datagram]:
+        """Remove and return the oldest queued datagram (drop-oldest shed).
+
+        Only meaningful while the queue is non-empty; getters are never
+        parked while items are queued, so no waiter can be starved by it.
+        """
+        if not self.items:
+            return None
+        return self._pop()
 
     def steal(self, predicate: Callable[[Datagram], bool]) -> Optional[Datagram]:
         """Remove the first queued datagram matching ``predicate``."""

@@ -48,7 +48,7 @@ from repro.nfs.protocol import (
     reply_size,
 )
 from repro.obs import registry_for
-from repro.rpc.client import RpcClient
+from repro.rpc.client import RpcClient, RpcTimeoutError
 from repro.sim import AllOf, Environment, Event
 
 __all__ = ["NfsClient", "OpenFile"]
@@ -95,6 +95,7 @@ class NfsClient:
         write_cpu: float = 0.0003,
         nfs_version: int = 2,
         read_ahead: bool = False,
+        write_window=None,
     ) -> None:
         if nbiods < 0:
             raise ValueError(f"nbiods must be >= 0, got {nbiods}")
@@ -111,6 +112,12 @@ class NfsClient:
         self.read_ahead = read_ahead
         #: Per-write client-side kernel work before the request hits the wire.
         self.write_cpu = write_cpu
+        #: Optional AIMD :class:`~repro.overload.window.WriteWindow`: caps
+        #: outstanding write-behind at ``min(nbiods, window.slots)`` and is
+        #: wired into the RPC layer as its congestion listener.
+        self.write_window = write_window
+        if write_window is not None:
+            rpc.congestion = write_window
         self._busy_biods = 0
         metrics = registry_for(env)
         prefix = f"nfs.{rpc.endpoint.host}"
@@ -128,13 +135,17 @@ class NfsClient:
     # -- generic RPC wrapper ---------------------------------------------------
 
     def _call(self, proc: str, args) -> Generator:
-        reply = yield from self.rpc.call(
-            proc,
-            args,
-            size=call_size(proc, args),
-            reply_size=reply_size(proc, args),
-            weight=WEIGHT_OF[proc],
-        )
+        try:
+            reply = yield from self.rpc.call(
+                proc,
+                args,
+                size=call_size(proc, args),
+                reply_size=reply_size(proc, args),
+                weight=WEIGHT_OF[proc],
+            )
+        except RpcTimeoutError:
+            # Soft mount: an exhausted retry budget surfaces as ETIMEDOUT.
+            raise NfsError("ETIMEDOUT") from None
         if not reply.ok:
             raise NfsError(reply.status)
         return reply.result
@@ -348,9 +359,17 @@ class NfsClient:
         yield from self._write_behind(open_file, offset, data)
 
     def _write_behind(self, open_file: OpenFile, offset: int, data: bytes) -> Generator:
-        """Hand a WRITE to a biod, or perform it inline if none is free."""
+        """Hand a WRITE to a biod, or perform it inline if none is free.
+
+        With a write window, the effective biod pool is the AIMD cwnd: a
+        struggling server shrinks the burst each client presents instead
+        of receiving nbiods-deep retransmit trains.
+        """
         yield self.env.timeout(self.write_cpu)
-        if self._busy_biods < self.nbiods:
+        limit = self.nbiods
+        if self.write_window is not None:
+            limit = min(limit, self.write_window.slots)
+        if self._busy_biods < limit:
             self._busy_biods += 1
             self.biod_handoffs.add(1)
             done = self.env.event()
@@ -380,13 +399,16 @@ class NfsClient:
         started = self.env.now
         stable = self.nfs_version == 2
         args = WriteArgs(open_file.fhandle, offset, data, stable=stable)
-        reply = yield from self.rpc.call(
-            PROC_WRITE,
-            args,
-            size=call_size(PROC_WRITE, args),
-            reply_size=reply_size(PROC_WRITE, args),
-            weight=WEIGHT_OF[PROC_WRITE],
-        )
+        try:
+            reply = yield from self.rpc.call(
+                PROC_WRITE,
+                args,
+                size=call_size(PROC_WRITE, args),
+                reply_size=reply_size(PROC_WRITE, args),
+                weight=WEIGHT_OF[PROC_WRITE],
+            )
+        except RpcTimeoutError:
+            raise NfsError("ETIMEDOUT") from None
         if not reply.ok:
             raise NfsError(reply.status)
         self.bytes_written.add(len(data))

@@ -34,6 +34,7 @@ from repro.obs.span import (
     PHASE_PROCRASTINATE,
     PHASE_REPLY,
     PHASE_RPC,
+    PHASE_SHED,
     PHASE_SOCKBUF,
     PHASE_VNODE_WAIT,
     PHASE_WIRE,
@@ -67,5 +68,6 @@ __all__ = [
     "PHASE_DISK_IO",
     "PHASE_NVRAM_COPY",
     "PHASE_FAULT",
+    "PHASE_SHED",
     "RPC_PHASES",
 ]

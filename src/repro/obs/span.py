@@ -31,6 +31,7 @@ __all__ = [
     "PHASE_DISK_IO",
     "PHASE_NVRAM_COPY",
     "PHASE_FAULT",
+    "PHASE_SHED",
     "RPC_PHASES",
 ]
 
@@ -60,6 +61,10 @@ PHASE_NVRAM_COPY = "nvram.copy"
 #: the fault, so exported timelines show crashes and partitions inline
 #: with the RPC lifecycle phases.
 PHASE_FAULT = "fault.inject"
+#: One admission-control shed decision (no trace — the request never got
+#: far enough to carry one); ``attrs["action"]`` records what the shed
+#: policy did (refused / evicted / early_reply / dup_dropped).
+PHASE_SHED = "overload.shed"
 
 #: The per-request phases the percentile summary reports by default.
 RPC_PHASES = (

@@ -1,0 +1,55 @@
+"""AIMD congestion window on outstanding biod write-behind.
+
+The biod pool bounds a client's write-behind at ``nbiods`` outstanding
+writes *always* — the reference client has no notion of a struggling
+server, so a fleet of clients keeps presenting full-rate bursts into a
+collapsing socket buffer.  :class:`WriteWindow` adds the TCP-style
+additive-increase/multiplicative-decrease loop: a write timeout halves
+the window (down to one outstanding write), a clean first-attempt
+success ramps it back by ``ramp/cwnd``.  The effective biod gate becomes
+``min(nbiods, window.slots)``.
+"""
+
+from __future__ import annotations
+
+from repro.rpc.messages import CLASS_HEAVY
+
+__all__ = ["WriteWindow"]
+
+
+class WriteWindow:
+    """Adaptive cap on a client's outstanding write-behind requests."""
+
+    def __init__(self, initial: int = 4, maximum: int = 64, ramp: float = 1.0) -> None:
+        if initial < 1:
+            raise ValueError(f"initial window must be >= 1, got {initial}")
+        if maximum < initial:
+            raise ValueError(f"maximum {maximum} below initial {initial}")
+        self.cwnd = float(initial)
+        self.maximum = maximum
+        self.ramp = ramp
+        self.halvings = 0
+        self.ramps = 0
+
+    @property
+    def slots(self) -> int:
+        """Whole outstanding-write slots currently allowed (>= 1)."""
+        return max(1, int(self.cwnd))
+
+    # -- RpcClient congestion-listener surface --------------------------------
+
+    def on_timeout(self, weight: str) -> None:
+        """Multiplicative decrease: a heavy (write) timeout halves cwnd."""
+        if weight != CLASS_HEAVY:
+            return
+        self.cwnd = max(1.0, self.cwnd / 2.0)
+        self.halvings += 1
+
+    def on_success(self, weight: str, attempts: int) -> None:
+        """Additive increase, but only on a *clean* (single-transmission)
+        heavy completion — a reply won by retransmitting proves nothing
+        about spare server capacity."""
+        if weight != CLASS_HEAVY or attempts > 1:
+            return
+        self.cwnd = min(float(self.maximum), self.cwnd + self.ramp / self.cwnd)
+        self.ramps += 1

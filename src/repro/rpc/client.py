@@ -12,7 +12,7 @@ with respect to other types of requests").
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Generator
+from typing import Any, Dict, Generator, Optional
 
 from repro.net.udp import UdpEndpoint
 from repro.obs import PHASE_RPC, Trace, collector_for, registry_for
@@ -25,10 +25,27 @@ from repro.rpc.messages import (
 )
 from repro.sim import AnyOf, Environment, Event
 
-__all__ = ["RpcClient", "RpcTimeoutPolicy"]
+__all__ = ["RpcClient", "RpcTimeoutPolicy", "RpcTimeoutError"]
 
 #: Reference-port initial retransmission interval.
 INITIAL_TIMEOUT = 1.1
+
+#: Cap on the doubling exponent so the uncapped product never overflows
+#: into absurd floats before the ceiling clamp is applied.
+MAX_BACKOFF_EXPONENT = 16
+
+
+class RpcTimeoutError(Exception):
+    """A call exhausted its retry budget (soft-mount ``ETIMEDOUT``)."""
+
+    def __init__(self, proc: str, xid: int, attempts: int, server: str) -> None:
+        super().__init__(
+            f"rpc {proc} xid={xid} to {server} timed out after {attempts} attempts"
+        )
+        self.proc = proc
+        self.xid = xid
+        self.attempts = attempts
+        self.server = server
 
 
 class RpcTimeoutPolicy:
@@ -41,11 +58,22 @@ class RpcTimeoutPolicy:
         ceiling: float = 30.0,
         gain: float = 0.125,
         latency_multiplier: float = 4.0,
+        max_attempts: Optional[int] = None,
+        jitter: float = 0.0,
+        jitter_seed: int = 0,
     ) -> None:
+        if max_attempts is not None and max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
         self.floor = floor
         self.ceiling = ceiling
         self.gain = gain
         self.latency_multiplier = latency_multiplier
+        #: Soft-mount retry budget; None = hard mount (retry forever).
+        self.max_attempts = max_attempts
+        self.jitter = jitter
+        self.jitter_seed = jitter_seed
         self._base: Dict[str, float] = {
             CLASS_LIGHT: initial,
             CLASS_MEDIUM: initial,
@@ -55,15 +83,31 @@ class RpcTimeoutPolicy:
     def timeout_for(self, weight: str, attempt: int) -> float:
         """Interval before (re)transmission ``attempt`` is declared lost."""
         base = self._base.get(weight, INITIAL_TIMEOUT)
-        return min(self.ceiling, base * (2 ** (attempt - 1)))
+        exponent = min(attempt - 1, MAX_BACKOFF_EXPONENT)
+        return min(self.ceiling, base * (2 ** exponent))
 
-    def observe(self, weight: str, latency: float) -> None:
-        """Fold a measured round-trip into the class's base interval."""
+    def interval_for(self, weight: str, attempt: int, host: str, xid: int) -> float:
+        """The (optionally jittered) interval the client actually arms."""
+        from repro.overload.rto import retransmit_jitter
+
+        factor = retransmit_jitter(self.jitter_seed, host, xid, attempt, self.jitter)
+        return self.timeout_for(weight, attempt) * factor
+
+    def observe(self, weight: str, latency: float, retransmitted: bool = False) -> None:
+        """Fold a measured round-trip into the class's base interval.
+
+        The fixed-schedule policy predates Karn's algorithm, so the
+        ``retransmitted`` flag is accepted (for interface parity with
+        :class:`~repro.overload.rto.AdaptiveRetryPolicy`) but ignored.
+        """
         target = max(self.floor, latency * self.latency_multiplier)
         base = self._base.get(weight, INITIAL_TIMEOUT)
         self._base[weight] = min(
             self.ceiling, (1 - self.gain) * base + self.gain * target
         )
+
+    def on_timeout(self, weight: str) -> None:
+        """Timeout notification hook: the fixed schedule does not react."""
 
     def base(self, weight: str) -> float:
         return self._base.get(weight, INITIAL_TIMEOUT)
@@ -71,8 +115,6 @@ class RpcTimeoutPolicy:
 
 class RpcClient:
     """Issues calls toward one server host, matching replies by XID."""
-
-    _xids = itertools.count(1)
 
     def __init__(
         self,
@@ -82,9 +124,24 @@ class RpcClient:
         policy: RpcTimeoutPolicy | None = None,
     ) -> None:
         self.env = env
+        # XIDs come from one counter per *environment* (not per process):
+        # globally unique within a run — the dup cache keys on
+        # (client, xid) and rack transports share a host — yet identical
+        # across same-seed runs, which a process-wide counter is not
+        # (seeded retransmit jitter is keyed by xid).
+        xids = getattr(env, "_rpc_xids", None)
+        if xids is None:
+            xids = itertools.count(1)
+            env._rpc_xids = xids
+        self._xids = xids
         self.endpoint = endpoint
         self.server = server
         self.policy = policy or RpcTimeoutPolicy()
+        #: Optional congestion listener (e.g. an overload
+        #: :class:`~repro.overload.window.WriteWindow`): told about every
+        #: timeout (``on_timeout(weight)``) and every completion
+        #: (``on_success(weight, attempts)``).
+        self.congestion = None
         self._pending: Dict[int, Event] = {}
         self.obs = collector_for(env)
         metrics = registry_for(env)
@@ -92,6 +149,7 @@ class RpcClient:
         self.retransmissions = metrics.counter(f"{prefix}.retransmissions")
         self.completed = metrics.counter(f"{prefix}.completed")
         self.duplicate_replies = metrics.counter(f"{prefix}.duplicate_replies")
+        self.timeouts = metrics.counter(f"{prefix}.timeouts")
         self.latency = metrics.tally(f"{prefix}.latency")
         env.process(self._receiver(), name=f"rpc-recv:{endpoint.host}")
 
@@ -103,13 +161,18 @@ class RpcClient:
         reply_size: int = 160,
         weight: str = CLASS_MEDIUM,
         server: str | None = None,
+        max_attempts: int | None = None,
     ) -> Generator:
         """Send a call and wait (retransmitting as needed) for its reply.
 
-        Returns the :class:`RpcReply`.  Never gives up: like a hard NFS
-        mount, it retries until the server answers.  ``server`` overrides
-        the default destination host for this one call (a routed cluster
-        client picks the file's shard here; retransmissions stay on it).
+        Returns the :class:`RpcReply`.  With no retry budget it never
+        gives up: like a hard NFS mount, it retries until the server
+        answers.  A budget — ``max_attempts`` here, or the policy's own —
+        bounds total transmissions; exhausting it raises
+        :class:`RpcTimeoutError` (soft-mount semantics).  ``server``
+        overrides the default destination host for this one call (a routed
+        cluster client picks the file's shard here; retransmissions stay
+        on it).
         """
         xid = next(self._xids)
         trace = None
@@ -133,25 +196,36 @@ class RpcClient:
             trace=trace,
         )
         destination = server or self.server
+        budget = max_attempts if max_attempts is not None else self.policy.max_attempts
         reply_event = self.env.event()
         self._pending[xid] = reply_event
         started = self.env.now
         try:
             while True:
                 self.endpoint.send(destination, call, call.size)
-                interval = self.policy.timeout_for(weight, call.attempt)
+                interval = self.policy.interval_for(
+                    weight, call.attempt, self.endpoint.host, xid
+                )
                 timeout = self.env.timeout(interval)
                 outcome = yield AnyOf(self.env, [reply_event, timeout])
                 if reply_event in outcome:
                     break
+                self.timeouts.add(1)
+                self.policy.on_timeout(weight)
+                if self.congestion is not None:
+                    self.congestion.on_timeout(weight)
+                if budget is not None and call.attempt >= budget:
+                    raise RpcTimeoutError(proc, xid, call.attempt, destination)
                 call.attempt += 1
                 self.retransmissions.add(1)
         finally:
             self._pending.pop(xid, None)
         elapsed = self.env.now - started
-        self.policy.observe(weight, elapsed)
+        self.policy.observe(weight, elapsed, retransmitted=call.attempt > 1)
         self.latency.observe(elapsed)
         self.completed.add(1)
+        if self.congestion is not None:
+            self.congestion.on_success(weight, call.attempt)
         if trace is not None:
             self.obs.emit(
                 PHASE_RPC,

@@ -101,6 +101,28 @@ class DuplicateRequestCache:
         self._entries.move_to_end(key)
         return ("execute", None)
 
+    def peek(self, call: RpcCall) -> Tuple[str, Optional[RpcReply]]:
+        """Classify like :meth:`check`, but without mutating the cache.
+
+        Admission control (repro.overload) uses this at socket-buffer
+        arrival time: a duplicate of an IN_PROGRESS request can be shed for
+        free, and a recent DONE duplicate can be answered straight from the
+        cached reply — all before the request costs any nfsd CPU or buffer
+        space.  Registration stays :meth:`check`'s job when the request is
+        actually dequeued.
+        """
+        if not self.enabled:
+            return ("new", None)
+        entry = self._entries.get(self._key(call))
+        if entry is None:
+            return ("new", None)
+        if entry.state == IN_PROGRESS:
+            return ("drop", None)
+        recent = self.env.now - entry.when <= self.reply_window
+        if recent and call.proc in NONIDEMPOTENT_PROCS and entry.reply is not None:
+            return ("replay", entry.reply)
+        return ("execute", None)
+
     def record_done(self, call: RpcCall, reply: RpcReply) -> None:
         """Mark a request complete, saving its reply for replay."""
         if not self.enabled:

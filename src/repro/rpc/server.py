@@ -107,6 +107,14 @@ class SvcServer:
         self.replies_sent = metrics.counter(f"{prefix}.replies")
         self.duplicates_dropped = metrics.counter(f"{prefix}.dup_dropped")
         self.duplicates_replayed = metrics.counter(f"{prefix}.dup_replayed")
+        #: Admission controller, when backpressure is enabled.
+        self.admission = None
+
+    def attach_admission(self, queue) -> None:
+        """Install an overload :class:`~repro.overload.admission.AdmissionQueue`
+        as the socket buffer's gatekeeper."""
+        self.admission = queue
+        self.endpoint.inbox.admission = queue
 
     def next_request(self):
         """Wait for the next *fresh* request; duplicates are handled here.

@@ -107,6 +107,18 @@ class NfsServer:
             self.endpoint,
             DuplicateRequestCache(env, enabled=self.config.dup_cache),
         )
+        if self.config.admission_max_requests is not None:
+            from repro.overload.admission import AdmissionQueue
+
+            self.svc.attach_admission(
+                AdmissionQueue(
+                    env,
+                    self.endpoint,
+                    self.svc.dup_cache,
+                    max_requests=self.config.admission_max_requests,
+                    policy=self.config.shed_policy,
+                )
+            )
         self.write_path = self._make_write_path()
         self.ops_completed: Dict[str, Counter] = {}
         self.op_latency = self.metrics.tally(f"{host}.op_latency")

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Optional, Union
 
 from repro.core.policy import GatherPolicy
 from repro.fs.ufs import CostModel
@@ -104,8 +104,26 @@ class ServerConfig:
     dup_cache: bool = True
     #: Paths the mountd side of the server answers MOUNT for.
     exports: tuple = ("/export",)
+    #: Admission control (repro.overload): cap on queued requests in the
+    #: socket buffer.  None = no admission queue — overload sheds only by
+    #: silent byte overflow, the pre-overload behaviour.
+    admission_max_requests: Optional[int] = None
+    #: What the admission queue does with an arrival past the cap:
+    #: "drop-newest", "drop-oldest", or "early-reply" (dup-cache-aware).
+    shed_policy: str = "drop-newest"
 
     def __post_init__(self) -> None:
         if self.nfsds < 1:
             raise ValueError(f"need at least one nfsd, got {self.nfsds}")
+        if self.admission_max_requests is not None and self.admission_max_requests < 1:
+            raise ValueError(
+                f"admission_max_requests must be >= 1, got {self.admission_max_requests}"
+            )
+        from repro.overload.admission import SHED_POLICIES
+
+        if self.shed_policy not in SHED_POLICIES:
+            names = ", ".join(SHED_POLICIES)
+            raise ValueError(
+                f"unknown shed policy {self.shed_policy!r} (expected one of: {names})"
+            )
         self.write_path = WritePath.coerce(self.write_path)

@@ -188,3 +188,63 @@ def test_storm_during_normal_copy_converges():
     ufs = testbed.server.ufs
     ino = ufs.root.entries["f"]
     assert len(ufs.durable_read(ino, 0, 128 * KB)) == 128 * KB
+
+
+def test_adaptive_rto_retransmits_into_parked_write_still_dropped():
+    """§6.9 under adaptive retransmission: an AdaptiveRetryPolicy tuned far
+    below the gather procrastination interval fires real retransmissions
+    while the original writes sit parked IN_PROGRESS.  Every duplicate is
+    dropped (never re-executed), each write is acked exactly once, and the
+    durable image matches the acks."""
+    from repro.overload import AdaptiveRetryPolicy
+
+    config = TestbedConfig(netspec=FDDI, write_path="gather", verify_stable=True)
+    testbed = Testbed(config)
+    policy = AdaptiveRetryPolicy(
+        initial_rto=0.002, min_rto=0.001, max_rto=0.5, jitter=0.0
+    )
+    client = testbed.add_client(policy=policy)
+    env = testbed.env
+
+    proc = env.process(write_file(env, client, "f", 64 * KB))
+    env.run(until=proc)
+    env.run()
+
+    # The 2 ms RTO genuinely beat the 5 ms procrastination nap.
+    assert client.rpc.retransmissions.value >= 1
+    assert testbed.server.svc.duplicates_dropped.value >= 1
+    assert testbed.server.stable_violations == []
+    ufs = testbed.server.ufs
+    ino = ufs.root.entries["f"]
+    assert len(ufs.durable_read(ino, 0, 64 * KB)) == 64 * KB
+    report = fsck(ufs, strict=False)
+    assert report.clean, report.errors
+
+
+def test_karn_keeps_parked_write_latency_out_of_the_estimator():
+    """Karn's rule end to end: replies won by retransmitting (the parked
+    writes above) never feed the RTO estimator, and a timeout's backoff is
+    retained until a clean sample arrives."""
+    from repro.overload import AdaptiveRetryPolicy
+    from repro.rpc import CLASS_HEAVY
+
+    config = TestbedConfig(netspec=FDDI, write_path="gather", verify_stable=True)
+    testbed = Testbed(config)
+    policy = AdaptiveRetryPolicy(
+        initial_rto=0.002, min_rto=0.001, max_rto=0.5, jitter=0.0
+    )
+    client = testbed.add_client(policy=policy)
+    env = testbed.env
+
+    proc = env.process(write_file(env, client, "f", 64 * KB))
+    env.run(until=proc)
+    env.run()
+
+    # At least one ambiguous (retransmitted) completion was suppressed...
+    assert policy.karn_suppressed >= 1
+    # ...so the heavy estimator saw strictly fewer samples than completions.
+    heavy = policy.estimator(CLASS_HEAVY)
+    assert heavy.samples < client.rpc.completed.value
+    # Clean samples did arrive eventually, clearing any retained backoff.
+    assert heavy.samples >= 1
+    assert heavy.backoff_level == 0

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench run against the committed baseline.
+
+Usage::
+
+    python scripts/compare_bench.py BASELINE.json FRESH.json [--max-ratio 2.0]
+
+Per (write_path, presto) cell, fail (exit 1) if the fresh p99 write
+latency exceeds ``max_ratio`` times the baseline's — the CI guard the
+perf baseline exists for.  Cells present in only one file fail too: a
+silently dropped cell would hide exactly the regression being guarded.
+The simulation is deterministic, so at equal code the ratio is 1.0;
+anything approaching the threshold is a real code-path change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def cells_by_key(report: dict) -> dict:
+    return {(cell["write_path"], cell["presto"]): cell for cell in report["cells"]}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_<n>.json")
+    parser.add_argument("fresh", help="freshly generated bench JSON")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail if fresh p99 > max-ratio x baseline p99 (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as handle:
+        baseline = cells_by_key(json.load(handle))
+    with open(args.fresh) as handle:
+        fresh = cells_by_key(json.load(handle))
+    failures = []
+    for key in sorted(set(baseline) | set(fresh), key=str):
+        write_path, presto = key
+        label = f"{write_path}/{'presto' if presto else 'plain'}"
+        if key not in baseline:
+            failures.append(f"{label}: cell missing from baseline")
+            continue
+        if key not in fresh:
+            failures.append(f"{label}: cell missing from fresh run")
+            continue
+        base_p99 = baseline[key]["write_latency_ms"]["p99"]
+        fresh_p99 = fresh[key]["write_latency_ms"]["p99"]
+        ratio = fresh_p99 / base_p99 if base_p99 else float("inf")
+        marker = "FAIL" if ratio > args.max_ratio else "ok"
+        print(
+            f"  {label:<18} p99 {base_p99:>9.3f} -> {fresh_p99:>9.3f} ms "
+            f"(x{ratio:.3f}) {marker}"
+        )
+        if ratio > args.max_ratio:
+            failures.append(
+                f"{label}: p99 write latency regressed x{ratio:.3f} "
+                f"(limit x{args.max_ratio})"
+            )
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench within budget: no p99 write-latency regression")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ Installed as the ``repro`` console script (also usable as
     repro bench --out BENCH_1.json                 # perf baseline grid
     repro overload --json         # goodput-vs-load sweep past saturation
     repro overload --no-adapt     # the collapse curve alone
+    repro replica --json          # K=0/1/2 replication cost + promote storm
 
 Every handler goes through :func:`repro.experiments.run` with an
 :class:`~repro.experiments.ExperimentSpec`; the CLI only parses arguments
@@ -367,6 +368,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the canonical JSON to this file (e.g. BENCH_1.json)",
     )
     bench.add_argument("--json", action="store_true", help="print the report as JSON")
+
+    replica = subparsers.add_parser(
+        "replica",
+        help="replicated shards under a crash-and-promote storm (repro.replica)",
+        description=(
+            "Run the sharded write workload once per replication factor "
+            "(default K=0, 1, 2) while a seeded storm kills acting "
+            "primaries mid-run.  With K>0 each kill promotes the shard's "
+            "freshest backup; the group oracle asserts that no acked "
+            "write is ever missing from the surviving replica set, and a "
+            "post-quiesce pass byte-compares the survivors.  The K=0 arm "
+            "is the unreplicated baseline, so the report prices the "
+            "guarantee: p99 write latency and throughput vs K=0.  Exits "
+            "1 on any violation."
+        ),
+    )
+    replica.add_argument(
+        "--servers", type=int, default=3, help="shard count (default: 3)"
+    )
+    replica.add_argument(
+        "--clients", type=int, default=6, help="client count (default: 6)"
+    )
+    replica.add_argument(
+        "--replicas",
+        type=int,
+        nargs="+",
+        default=[0, 1, 2],
+        metavar="K",
+        help="backups per shard; each value is one arm (default: 0 1 2)",
+    )
+    replica.add_argument(
+        "--quorum",
+        type=int,
+        default=1,
+        help="backup acks required before a write is acked (default: 1)",
+    )
+    replica.add_argument(
+        "--files", type=int, default=2, help="files written per client (default: 2)"
+    )
+    replica.add_argument(
+        "--file-kb", type=int, default=64, help="size of each written file (default: 64)"
+    )
+    replica.add_argument(
+        "--crashes",
+        type=int,
+        default=3,
+        help="primary kills in the storm, round-robin over shards (default: 3)",
+    )
+    replica.add_argument("--net", choices=sorted(_NETWORKS), default="fddi")
+    replica.add_argument("--seed", type=int, default=0)
+    replica.add_argument("--json", action="store_true", help="emit the result as JSON")
     return parser
 
 
@@ -784,6 +836,60 @@ def _cmd_cluster(args) -> int:
     return 0 if result.clean else 1
 
 
+def _cmd_replica(args) -> int:
+    from repro.cluster import ClusterConfig
+    from repro.replica import run_replica
+
+    config = ClusterConfig(
+        servers=args.servers,
+        netspec=_NETWORKS[args.net],
+        write_path=WritePath.GATHER,
+        quorum=args.quorum,
+        seed=args.seed,
+    )
+
+    def progress(arm) -> None:
+        if not args.json:
+            print(
+                f"  K={arm.replicas} quorum={arm.quorum}: "
+                f"{arm.aggregate_kb_per_sec:>8.0f} KB/s  "
+                f"p50 {arm.write_latency_ms['p50']:>7.2f} ms  "
+                f"p99 {arm.write_latency_ms['p99']:>7.2f} ms  "
+                f"{arm.crashes} crashes, {arm.promotions} promotions, "
+                f"{'clean' if arm.clean else 'VIOLATIONS'}"
+            )
+
+    if not args.json:
+        print(
+            f"replica: {args.servers} shards x {args.clients} clients, "
+            f"{args.crashes}-crash storm, seed {args.seed}"
+        )
+    result = run_replica(
+        config,
+        replica_counts=args.replicas,
+        clients=args.clients,
+        files_per_client=args.files,
+        file_kb=args.file_kb,
+        storm_crashes=args.crashes,
+        progress=progress,
+    )
+    if args.json:
+        print(result.to_json())
+    else:
+        for row in result.comparison():
+            print(
+                f"  K={row['replicas']} vs K=0: "
+                f"p99 write latency x{row['p99_write_latency_vs_k0']}, "
+                f"throughput x{row['throughput_vs_k0']}"
+            )
+        for arm in result.arms:
+            for violation in arm.violations:
+                print(f"  K={arm.replicas} VIOLATION: {violation}")
+        if result.clean:
+            print("  zero-acked-write-loss guarantee held across every arm")
+    return 0 if result.clean else 1
+
+
 def _cmd_bench(args) -> int:
     from repro.experiments.bench import bench_to_json, run_bench, write_bench
 
@@ -832,6 +938,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "overload": _cmd_overload,
         "sweep": _cmd_sweep,
         "cluster": _cmd_cluster,
+        "replica": _cmd_replica,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

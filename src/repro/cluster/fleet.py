@@ -72,8 +72,15 @@ class ClusterConfig:
     #: Per-shard retry budget for routed calls (repro.overload): the
     #: transmissions a client spends on one shard before re-resolving the
     #: route (failover redirect) or surfacing ETIMEDOUT.  None = retry
-    #: forever, the hard-mount behaviour.
+    #: forever, the hard-mount behaviour — except with replicas, where a
+    #: small default budget is installed so in-flight calls against a dead
+    #: primary re-resolve into its promoted backup.
     failover_attempts: Optional[int] = None
+    #: Backups per shard (K, repro.replica).  0 = no replication: the
+    #: cluster is byte-identical to its pre-replica behaviour.
+    replicas: int = 0
+    #: Backups that must ack stable storage before a reply is released.
+    quorum: int = 1
 
     def __post_init__(self) -> None:
         self.write_path = WritePath.coerce(self.write_path)
@@ -84,6 +91,24 @@ class ClusterConfig:
                 f"racks must be in [1, servers]; got {self.racks} racks "
                 f"for {self.servers} servers"
             )
+        if self.replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {self.replicas}")
+        if self.quorum < 1:
+            raise ValueError(f"quorum must be >= 1, got {self.quorum}")
+        if self.replicas and self.quorum > self.replicas:
+            raise ValueError(
+                f"quorum ({self.quorum}) cannot exceed replicas "
+                f"({self.replicas})"
+            )
+        if self.replicas and self.write_path == WritePath.SIVA:
+            raise ValueError(
+                "replication piggybacks on the standard/gather commit "
+                "points; the siva path is not supported with replicas > 0"
+            )
+        if self.replicas and self.failover_attempts is None:
+            # Promotion strands any call already retransmitting into the
+            # dead primary unless it can give up and re-resolve.
+            self.failover_attempts = 3
 
     def variant(self, **changes) -> "ClusterConfig":
         """A copy with some fields replaced (sweeps build on this)."""
@@ -117,9 +142,15 @@ class Cluster:
         self.servers: List[NfsServer] = []
         #: Per-shard spindles, parallel to ``servers``.
         self.disks: List[List[DiskDevice]] = []
+        #: One replica group per shard, parallel to ``servers``
+        #: (repro.replica; trivial single-member groups at K=0).
+        self.groups: List = []
+        #: Per-shard backup spindles: ``backup_disks[shard][backup]``.
+        self.backup_disks: List[List[List[DiskDevice]]] = []
         self._rack_of_server: Dict[str, int] = {}
         for index in range(config.servers):
-            self._build_server(index)
+            server = self._build_server(index)
+            self._build_group(index, server)
         self.shard_map = ShardMap(
             [server.host for server in self.servers],
             vnodes=config.vnodes,
@@ -172,6 +203,79 @@ class Cluster:
         self._rack_of_server[host] = rack
         return server
 
+    def _build_group(self, index: int, primary: NfsServer) -> None:
+        """Wrap shard ``index`` in a replica group (repro.replica).
+
+        At K=0 the group is a trivial single-member record and *nothing
+        else is built* — no replicators, no endpoints — so an unreplicated
+        cluster stays byte-identical to its pre-replica behaviour.  With
+        K>0, each backup is a complete server stack (own spindles, own
+        UFS with the *same* ino_base as the primary, own nfsd pool) on the
+        shard's rack segment, and every member gets a replicator; only
+        the primary's starts active.
+        """
+        from repro.replica.group import ReplicaGroup
+        from repro.replica.replicator import Replicator
+
+        config = self.config
+        rack = self._rack_of_server[primary.host]
+        members: List[NfsServer] = [primary]
+        shard_backup_disks: List[List[DiskDevice]] = []
+        for backup_index in range(config.replicas):
+            host = f"{primary.host}.b{backup_index + 1}"
+            disks = [
+                DiskDevice(
+                    self.env,
+                    config.disk_spec,
+                    name=(
+                        f"{config.disk_spec.name}-s{index}"
+                        f"b{backup_index + 1}-{spindle}"
+                    ),
+                )
+                for spindle in range(config.stripes)
+            ]
+            base: Storage
+            if config.stripes > 1:
+                base = StripeSet(self.env, disks)
+            else:
+                base = disks[0]
+            storage: Storage = (
+                PrestoCache(self.env, base, capacity=config.presto_bytes)
+                if config.presto_bytes
+                else base
+            )
+            server_config = ServerConfig(
+                nfsds=config.nfsds,
+                write_path=config.write_path,
+                gather_policy=config.gather_policy,
+                verify_stable=config.verify_stable,
+                cpu_scale=config.cpu_scale,
+                ino_base=(index + 1) * INO_STRIDE,
+            )
+            backup = NfsServer(
+                self.env,
+                self.segments[rack],
+                storage,
+                host=host,
+                config=server_config,
+            )
+            members.append(backup)
+            shard_backup_disks.append(disks)
+            self._rack_of_server[host] = rack
+        group = ReplicaGroup(index=index, logical_host=primary.host, members=members)
+        if config.replicas > 0:
+            for member in members:
+                Replicator(
+                    member, group, quorum=config.quorum, segment=self.segments[rack]
+                )
+            primary.replicator.activate()
+        self.groups.append(group)
+        self.backup_disks.append(shard_backup_disks)
+
+    def group_for_shard(self, index: int):
+        """The replica group of shard ``index``."""
+        return self.groups[index]
+
     def grow(self) -> NfsServer:
         """Join one more shard mid-run.
 
@@ -179,7 +283,9 @@ class Cluster:
         ring arcs move to it; every pinned handle stays where it is (no
         data migration — growth redirects *future* placement only).
         """
-        server = self._build_server(len(self.servers))
+        index = len(self.servers)
+        server = self._build_server(index)
+        self._build_group(index, server)
         self.shard_map.add_server(server.host)
         return server
 
@@ -213,6 +319,10 @@ class Cluster:
         for server in self.servers:
             if server.host == host:
                 return server
+        for group in self.groups:
+            for member in group.members:
+                if member.host == host:
+                    return member
         raise KeyError(f"no shard named {host!r}")
 
     def segment_of(self, host: str) -> Segment:

@@ -54,15 +54,82 @@ class ClusterOracle:
     # -- checking ---------------------------------------------------------------
 
     def check(self, label: str = "final") -> List[str]:
-        """Assert the crash contract on every shard; returns new violations."""
+        """Assert the crash contract on every shard; returns new violations.
+
+        A shard with backups (repro.replica) is held to the *group*
+        contract — no acked write may be missing from the surviving
+        replica set — instead of the single-image contract: mid-promotion
+        the old primary's image is dead weight, and the promise lives on
+        whichever survivors hold the bytes.
+        """
         found: List[str] = []
         # Grown shards may have joined since construction.
-        for server in self.cluster.servers:
+        for index, server in enumerate(self.cluster.servers):
             oracle = self._oracle_for(server.host)
-            found.extend(
-                f"{server.host}: {violation}"
-                for violation in oracle.check(label)
-            )
+            group = self._group_for(index)
+            if group is not None and group.replicas > 0:
+                members = [
+                    (member.host, member.ufs) for member in group.surviving()
+                ]
+                new = oracle.check_group(members, label)
+            else:
+                new = oracle.check(label)
+            found.extend(f"{server.host}: {violation}" for violation in new)
+        return found
+
+    def _group_for(self, index: int):
+        groups = getattr(self.cluster, "groups", None)
+        if not groups or index >= len(groups):
+            return None
+        return groups[index]
+
+    def check_divergence(self, label: str = "quiesce") -> List[str]:
+        """Byte-compare surviving replica images after the run drains.
+
+        The group contract tolerates lagging backups *mid-run*; once the
+        fleet has quiesced (all batches shipped, acked, and applied) every
+        surviving member of a group must agree byte-for-byte on every
+        acked file — size and durable content.  Violations are recorded on
+        the shard's oracle so :attr:`clean` reflects them.
+        """
+        found: List[str] = []
+        now = self.env.now
+        for index, server in enumerate(self.cluster.servers):
+            group = self._group_for(index)
+            if group is None or group.replicas == 0:
+                continue
+            oracle = self._oracle_for(server.host)
+            survivors = group.surviving()
+            if len(survivors) < 2:
+                continue
+            shard_found: List[str] = []
+            reference = survivors[0]
+            for ino in oracle.acked_inos():
+                sizes = {}
+                for member in survivors:
+                    snapshot = member.ufs.cache.durable.inodes.get(ino)
+                    sizes[member.host] = None if snapshot is None else snapshot.size
+                reference_size = sizes[reference.host]
+                for member in survivors[1:]:
+                    if sizes[member.host] != reference_size:
+                        shard_found.append(
+                            f"[{label} t={now:.6f}] ino {ino}: durable size "
+                            f"diverges ({reference.host}={reference_size}, "
+                            f"{member.host}={sizes[member.host]})"
+                        )
+                        continue
+                    if not reference_size:
+                        continue
+                    want = reference.ufs.durable_read(ino, 0, reference_size)
+                    got = member.ufs.durable_read(ino, 0, reference_size)
+                    if got != want:
+                        shard_found.append(
+                            f"[{label} t={now:.6f}] ino {ino}: durable bytes "
+                            f"diverge between {reference.host} and {member.host}"
+                        )
+            oracle.checks += 1
+            oracle.violations.extend(shard_found)
+            found.extend(f"{server.host}: {violation}" for violation in shard_found)
         return found
 
     @property

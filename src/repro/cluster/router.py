@@ -54,6 +54,11 @@ class MountRouter:
         #: Name -> shard host overrides (currently only RENAME creates
         #: these: the destination name stays on the source's shard).
         self._name_pins: Dict[str, str] = {}
+        #: Logical shard name -> acting physical host (repro.replica).
+        #: Promotion repoints a whole replica group with one entry: the
+        #: ring arcs and every pinned handle keep the *logical* name, and
+        #: only the transport destination changes.
+        self._aliases: Dict[str, str] = {}
 
     # -- resolution --------------------------------------------------------------
 
@@ -110,6 +115,28 @@ class MountRouter:
     def pins(self) -> Dict[FileHandle, str]:
         """A copy of the handle pin table (diagnostics/tests)."""
         return dict(self._fhandle_pins)
+
+    # -- promotion aliases ---------------------------------------------------------
+
+    def repoint(self, logical: str, physical: str) -> None:
+        """Route every reference to ``logical`` at ``physical``.
+
+        Called at promotion: the dead primary's name stays in the shard
+        map and the pin tables, but every call resolved to it now lands on
+        the promoted backup.
+        """
+        if physical == logical:
+            self._aliases.pop(logical, None)
+        else:
+            self._aliases[logical] = physical
+
+    def resolve(self, host: str) -> str:
+        """The physical host currently acting for ``host``."""
+        return self._aliases.get(host, host)
+
+    def aliases(self) -> Dict[str, str]:
+        """A copy of the promotion alias table (diagnostics/tests)."""
+        return dict(self._aliases)
 
 
 class ClusterRpc:
@@ -169,7 +196,8 @@ class ClusterRpc:
         new shard with a fresh budget; if the route is unchanged, the
         timeout is terminal and propagates (soft-mount semantics).
         """
-        destination = server or self.router.route(proc, args)
+        logical = server or self.router.route(proc, args)
+        destination = self.router.resolve(logical)
         while True:
             rpc = self.transport_for(destination)
             try:
@@ -183,14 +211,19 @@ class ClusterRpc:
                     max_attempts=self.failover_attempts,
                 )
             except RpcTimeoutError:
-                rerouted = server or self.router.route(proc, args)
+                # Re-resolve both layers: the map may have redirected the
+                # name (failover), or the alias table may have repointed
+                # the shard at a promoted backup.
+                relogical = server or self.router.route(proc, args)
+                rerouted = self.router.resolve(relogical)
                 if rerouted != destination:
-                    destination = rerouted
+                    logical, destination = relogical, rerouted
                     continue
                 raise
             break
         if reply.ok:
-            self.router.observe(proc, args, destination, reply.result)
+            # Pins record the *logical* shard so they survive promotion.
+            self.router.observe(proc, args, logical, reply.result)
         return reply
 
     # -- aggregated client-side counters ------------------------------------------

@@ -53,6 +53,7 @@ from repro.obs import (
     PHASE_COMMIT,
     PHASE_PARKED,
     PHASE_PROCRASTINATE,
+    PHASE_REPLICATE,
     PHASE_REPLY,
     PHASE_VNODE_WAIT,
     registry_for,
@@ -295,6 +296,29 @@ class GatheringWritePath:
             )
         stable_at = self.env.now
         batch = len(descriptors)
+        # Replica groups: one gathered flush ⇒ one replication message.
+        # Local data+metadata are stable; the parked replies additionally
+        # wait for a quorum of backups to ack stable storage (still under
+        # the vnode lock, so batch sequence follows same-file commit order).
+        replicator = getattr(self.server, "replicator", None)
+        if replicator is not None and replicator.active:
+            yield from replicator.commit_wait(
+                [
+                    replicator.write_op(
+                        vnode, d.offset, d.data, d.handle.call, fattr
+                    )
+                    for d in descriptors
+                ]
+            )
+            for descriptor in descriptors:
+                self.server.emit_span(
+                    descriptor.trace,
+                    PHASE_REPLICATE,
+                    stable_at,
+                    ino=vnode.ino,
+                    batch=batch,
+                )
+        release_at = self.env.now
         for descriptor in ordered:
             yield from self.server.reply(descriptor.handle, "ok", fattr)
             self.server.emit_span(
@@ -309,7 +333,7 @@ class GatheringWritePath:
             self.server.emit_span(
                 descriptor.trace, PHASE_PARKED, descriptor.enqueued_at, end=stable_at
             )
-            self.server.emit_span(descriptor.trace, PHASE_REPLY, stable_at)
+            self.server.emit_span(descriptor.trace, PHASE_REPLY, release_at)
         self.stats.batches.add(1)
         self.stats.batch_size.observe(len(descriptors))
         if self.learned is not None:

@@ -83,6 +83,10 @@ class Oracle:
             runs.append((start, len(mask)))
         return runs
 
+    def acked_inos(self) -> List[int]:
+        """Inodes with at least one acked write (sorted)."""
+        return sorted(self._images)
+
     def acked_byte_total(self) -> int:
         """Total bytes currently covered by stable-write acknowledgements.
 
@@ -124,6 +128,40 @@ class Oracle:
         report = fsck(ufs, strict=False)
         for error in report.errors:
             found.append(f"[{label} t={now:.6f}] fsck: {error}")
+        self.checks += 1
+        self.violations.extend(found)
+        return found
+
+    def check_group(self, members, label: str = "final") -> List[str]:
+        """Assert the *replica-group* crash contract (repro.replica).
+
+        ``members`` is the surviving replica set as ``(name, ufs)`` pairs.
+        An acked byte range is satisfied when **any** surviving member
+        holds it durably with the acked content — the group promises the
+        write outlives the primary, not that every member is already
+        caught up at the instant of a crash.  Structure is checked on
+        every survivor: a quorum cannot excuse a corrupt backup.
+        """
+        found: List[str] = []
+        now = self.env.now
+        for ino in sorted(self._images):
+            image = self._images[ino]
+            for start, end in self._acked_runs(ino):
+                want = bytes(image[start:end])
+                if not any(
+                    ufs.durable_read(ino, start, end - start) == want
+                    for _name, ufs in members
+                ):
+                    found.append(
+                        f"[{label} t={now:.6f}] ino {ino} bytes [{start},{end}): "
+                        "acked but missing from every surviving replica"
+                    )
+        for name, ufs in members:
+            report = fsck(ufs, strict=False)
+            found.extend(
+                f"[{label} t={now:.6f}] fsck({name}): {error}"
+                for error in report.errors
+            )
         self.checks += 1
         self.violations.extend(found)
         return found

@@ -139,9 +139,16 @@ class Ufs:
             return self.costs.nvram_trip
         return self.costs.driver_trip
 
-    def _new_inode(self, ftype: str) -> Inode:
-        ino = self._next_ino
-        self._next_ino += 1
+    def _new_inode(self, ftype: str, ino: Optional[int] = None) -> Inode:
+        # An explicit ``ino`` replays another UFS's allocation (replica
+        # backups must agree with the primary byte-for-byte on handles);
+        # the local counter jumps past it so later local allocations can
+        # never collide.
+        if ino is None:
+            ino = self._next_ino
+            self._next_ino += 1
+        else:
+            self._next_ino = max(self._next_ino, ino + 1)
         inode = Inode(
             ino=ino,
             ftype=ftype,
@@ -437,15 +444,23 @@ class Ufs:
             raise FsError("ENOENT", name)
         return self.inodes[ino]
 
-    def create(self, directory: Inode, name: str, ftype: str = FileType.FILE) -> Generator:
+    def create(
+        self,
+        directory: Inode,
+        name: str,
+        ftype: str = FileType.FILE,
+        ino: Optional[int] = None,
+    ) -> Generator:
         """Create a file/directory: two synchronous metadata transactions
-        (directory data block + new inode block), per FFS semantics."""
+        (directory data block + new inode block), per FFS semantics.
+        ``ino`` pins the inode number (replica backups replaying a
+        primary's allocation)."""
         if directory.ftype != FileType.DIRECTORY:
             raise FsError("ENOTDIR", f"inode {directory.ino} is not a directory")
         if name in directory.entries:
             raise FsError("EEXIST", name)
         yield from self._charge(self.costs.ufs_trip + self.costs.namei)
-        inode = self._new_inode(ftype)
+        inode = self._new_inode(ftype, ino=ino)
         directory.entries[name] = inode.ino
         directory.mtime = self.env.now
         self._mark_meta_dirty(directory)
@@ -485,9 +500,15 @@ class Ufs:
         yield from self._charge(self.costs.namei)
         return sorted(directory.entries)
 
-    def symlink(self, directory: Inode, name: str, target: str) -> Generator:
+    def symlink(
+        self,
+        directory: Inode,
+        name: str,
+        target: str,
+        ino: Optional[int] = None,
+    ) -> Generator:
         """Create a symbolic link (its target string lives in the inode)."""
-        inode = yield from self.create(directory, name, FileType.SYMLINK)
+        inode = yield from self.create(directory, name, FileType.SYMLINK, ino=ino)
         inode.symlink_target = target
         return inode
 

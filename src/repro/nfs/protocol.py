@@ -31,6 +31,7 @@ __all__ = [
     "PROC_REMOVE",
     "PROC_READDIR",
     "PROC_STATFS",
+    "PROC_REPLICATE",
     "WEIGHT_OF",
     "Fattr",
     "WriteArgs",
@@ -67,6 +68,11 @@ PROC_COMMIT = "commit"
 #: The separate MOUNT protocol (mountd): path -> root file handle.
 PROC_MOUNT = "mount"
 PROC_UMOUNT = "umount"
+#: Internal replica-group procedure (repro.replica): a primary ships one
+#: committed batch — writes and namespace ops — to a backup, which acks
+#: only after the batch is on its own stable storage.  Never sent by NFS
+#: clients; it shares the RPC transport and dup-cache machinery.
+PROC_REPLICATE = "replicate"
 
 #: Client backoff class per procedure (§4.1).
 WEIGHT_OF = {
@@ -85,6 +91,7 @@ WEIGHT_OF = {
     PROC_RENAME: CLASS_LIGHT,
     PROC_MOUNT: CLASS_LIGHT,
     PROC_UMOUNT: CLASS_LIGHT,
+    PROC_REPLICATE: CLASS_HEAVY,
 }
 
 

@@ -32,6 +32,7 @@ from repro.obs.span import (
     PHASE_NVRAM_COPY,
     PHASE_PARKED,
     PHASE_PROCRASTINATE,
+    PHASE_REPLICATE,
     PHASE_REPLY,
     PHASE_RPC,
     PHASE_SHED,
@@ -69,5 +70,6 @@ __all__ = [
     "PHASE_NVRAM_COPY",
     "PHASE_FAULT",
     "PHASE_SHED",
+    "PHASE_REPLICATE",
     "RPC_PHASES",
 ]

@@ -32,6 +32,7 @@ __all__ = [
     "PHASE_NVRAM_COPY",
     "PHASE_FAULT",
     "PHASE_SHED",
+    "PHASE_REPLICATE",
     "RPC_PHASES",
 ]
 
@@ -65,6 +66,9 @@ PHASE_FAULT = "fault.inject"
 #: far enough to carry one); ``attrs["action"]`` records what the shed
 #: policy did (refused / evicted / early_reply / dup_dropped).
 PHASE_SHED = "overload.shed"
+#: One replicated-commit round trip (repro.replica): local data is stable,
+#: the parked reply waits for ``quorum`` backups to ack stable storage.
+PHASE_REPLICATE = "replica.commit"
 
 #: The per-request phases the percentile summary reports by default.
 RPC_PHASES = (

@@ -1,0 +1,62 @@
+"""Replica-group membership: one shard's primary plus its K backups.
+
+The group tracks *roles*, not placement: the shard map and every pinned
+file handle keep naming the group's **logical host** (the original
+primary's name); the router's alias table maps that logical name to
+whichever member currently acts as primary.  Promotion therefore never
+rewrites a pin or moves a ring arc — it flips one alias entry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["ReplicaGroup"]
+
+
+class ReplicaGroup:
+    """One shard's replica set: acting primary + backups + the fallen."""
+
+    def __init__(self, index: int, logical_host: str, members: List) -> None:
+        self.index = index
+        #: The name the shard map and pin tables use for this group.
+        self.logical_host = logical_host
+        #: All members ever, in construction order; ``members[0]`` is the
+        #: original primary.
+        self.members = list(members)
+        self.primary = self.members[0]
+        #: Members permanently demoted by a crash-and-promote (a dead
+        #: primary never rejoins: its volatile replication state is gone
+        #: and the group has moved on without it).
+        self.failed: List = []
+
+    @property
+    def replicas(self) -> int:
+        """K: the number of backups the group was built with."""
+        return len(self.members) - 1
+
+    def surviving(self) -> List:
+        """Members not permanently failed, in construction order."""
+        return [member for member in self.members if member not in self.failed]
+
+    def backups(self) -> List:
+        """Surviving members other than the acting primary."""
+        return [member for member in self.surviving() if member is not self.primary]
+
+    def freshest_backup(self) -> Optional[object]:
+        """The backup with the highest applied sequence number.
+
+        FIFO replication sessions apply gapless prefixes, so the freshest
+        backup provably holds every quorum-acked batch; ties break to the
+        earliest member (deterministic).
+        """
+        candidates = self.backups()
+        if not candidates:
+            return None
+        return max(candidates, key=lambda member: member.replicator.applied_seq)
+
+    def promote(self, member) -> None:
+        """Fail the acting primary and install ``member`` in its place."""
+        if self.primary not in self.failed:
+            self.failed.append(self.primary)
+        self.primary = member

@@ -1,0 +1,117 @@
+"""Wire format of the internal ``REPLICATE`` procedure.
+
+A primary commits a batch locally (one gathered flush, one standard-path
+write, or one namespace mutation), then ships the whole batch to each
+backup as a single :class:`ReplBatch` — the replication analogue of the
+paper's gathered metadata update: one flush ⇒ one replication message,
+so the replicated-commit round trip amortizes across the batch exactly
+as the fsync did.
+
+Each :class:`ReplOp` carries everything a backup needs to replay the
+mutation *deterministically* — explicit inode numbers (the backup must
+agree with the primary on file handles) — plus the (client, xid, reply)
+triple of the originating NFS request, so the backup can prime its own
+duplicate-request cache: a client retransmitting into a promoted backup
+gets the cached reply, never a re-execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.rpc.messages import RPC_HEADER_BYTES, RpcReply
+
+__all__ = ["ReplOp", "ReplBatch", "namespace_op"]
+
+#: Fixed per-op framing overhead (proc tag, ino, offset, lengths).
+OP_OVERHEAD_BYTES = 32
+
+
+@dataclass
+class ReplOp:
+    """One primary-side mutation, replayed verbatim on a backup."""
+
+    proc: str
+    #: Target inode (writes, setattr) or the inode the primary allocated
+    #: (create/symlink — the backup pins the same number).
+    ino: int = 0
+    generation: int = 0
+    offset: int = 0
+    data: bytes = b""
+    #: Namespace ops: the directory and entry name involved.
+    dir_ino: int = 0
+    name: str = ""
+    #: Proc-specific extras (symlink target, rename destination, setattr
+    #: fields).
+    extra: Dict[str, Any] = field(default_factory=dict)
+    #: Dup-cache priming: the identity of the originating NFS request and
+    #: the exact reply the primary released for it.
+    client: str = ""
+    xid: int = 0
+    reply: Optional[RpcReply] = None
+
+    def wire_bytes(self) -> int:
+        return OP_OVERHEAD_BYTES + len(self.data) + len(self.name)
+
+
+@dataclass
+class ReplBatch:
+    """One replication message: every op of one primary commit, in the
+    order the primary applied them, stamped with the primary's sequence
+    number (gapless per group — backups apply prefixes)."""
+
+    seq: int
+    ops: List[ReplOp]
+
+    def wire_size(self) -> int:
+        return RPC_HEADER_BYTES + sum(op.wire_bytes() for op in self.ops)
+
+
+def namespace_op(proc: str, args, result) -> Optional[ReplOp]:
+    """Build the ReplOp for one committed namespace mutation.
+
+    ``args``/``result`` are the NFS action routine's inputs and output;
+    returns None for procs that need no replication (e.g. a CREATE that
+    degenerated to a lookup is still replicated — the backup's guard makes
+    replay idempotent)."""
+    from repro.nfs.protocol import (
+        PROC_CREATE,
+        PROC_REMOVE,
+        PROC_RENAME,
+        PROC_SETATTR,
+        PROC_SYMLINK,
+    )
+
+    if proc in (PROC_CREATE, PROC_SYMLINK):
+        fhandle, _fattr = result
+        ino, generation = fhandle
+        extra = {"target": args.target} if proc == PROC_SYMLINK else {}
+        return ReplOp(
+            proc=proc,
+            ino=ino,
+            generation=generation,
+            dir_ino=args.dir_fhandle[0],
+            name=args.name,
+            extra=extra,
+        )
+    if proc == PROC_REMOVE:
+        return ReplOp(proc=proc, dir_ino=args.dir_fhandle[0], name=args.name)
+    if proc == PROC_RENAME:
+        return ReplOp(
+            proc=proc,
+            dir_ino=args.src_dir_fhandle[0],
+            name=args.src_name,
+            extra={
+                "dst_dir_ino": args.dst_dir_fhandle[0],
+                "dst_name": args.dst_name,
+            },
+        )
+    if proc == PROC_SETATTR:
+        return ReplOp(
+            proc=proc,
+            ino=args.fhandle[0],
+            generation=args.fhandle[1],
+            extra={"size": args.size, "mtime": args.mtime},
+        )
+    return None

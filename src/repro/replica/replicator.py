@@ -1,0 +1,362 @@
+"""The replication engine: ship committed batches, wait for quorum acks.
+
+Every member of a :class:`~repro.replica.group.ReplicaGroup` owns a
+``Replicator``; only the acting primary's is *active*.  The commit path:
+
+1. a write path (gather/standard) or a namespace action routine commits
+   locally, then calls :meth:`replicate` with the batch's ops — under the
+   vnode lock, so sequence numbers follow same-file commit order;
+2. the batch is stamped with the next group sequence number, retained in
+   the member's log, and enqueued to one FIFO session per live peer —
+   one batch in flight per peer, retransmitting until acked, so every
+   peer applies a *gapless prefix* of the sequence order;
+3. the caller yields the returned quorum event: it fires once ``quorum``
+   backups have acked stable storage (immediately when the group has no
+   live peers — K=0 degenerates to the paper's single-server contract);
+4. the parked NFS replies are released.
+
+A backup's :meth:`handle_replicate` runs as a normal server action
+routine: it replays the ops against its own UFS (data delayed, then one
+syncdata+fsync per touched file — mirroring the primary's gathered
+flush), primes its duplicate-request cache with each op's original
+(client, xid) → reply binding, and acks only after its own storage is
+stable.  Promotion calls :meth:`activate`, which replays the retained
+log to the surviving peers (resync) — the idempotent ``seq`` guard makes
+the replay safe and brings lagging peers up to the new primary's prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.fs.ufs import FsError
+from repro.nfs.protocol import (
+    PROC_CREATE,
+    PROC_REMOVE,
+    PROC_RENAME,
+    PROC_REPLICATE,
+    PROC_SETATTR,
+    PROC_SYMLINK,
+    PROC_WRITE,
+    Fattr,
+)
+from repro.obs import registry_for
+from repro.replica.messages import ReplBatch, ReplOp, namespace_op
+from repro.rpc.client import RpcClient
+from repro.rpc.messages import (
+    CLASS_HEAVY,
+    RPC_HEADER_BYTES,
+    RpcCall,
+    RpcReply,
+)
+from repro.sim import Event, Interrupt, Store
+
+__all__ = ["Replicator", "REPLICATED_NAMESPACE"]
+
+#: Namespace procs a primary forwards to its backups (the nonidempotent
+#: set minus WRITE, which rides the write paths' batch hook).
+REPLICATED_NAMESPACE = frozenset(
+    (PROC_CREATE, PROC_REMOVE, PROC_SYMLINK, PROC_RENAME, PROC_SETATTR)
+)
+
+
+class _Pending:
+    """One batch's quorum bookkeeping, shared across peer sessions."""
+
+    __slots__ = ("batch", "needed", "acks", "event")
+
+    def __init__(self, batch: ReplBatch, needed: int, event: Optional[Event]) -> None:
+        self.batch = batch
+        self.needed = needed
+        self.acks = 0
+        self.event = event
+
+
+class Replicator:
+    """One group member's replication engine (primary or backup role)."""
+
+    def __init__(self, server, group, quorum: int, segment) -> None:
+        self.server = server
+        self.group = group
+        self.env = server.env
+        self.quorum = quorum
+        #: Replication traffic rides its own endpoint so a promotion can
+        #: cut a dead primary's replication plane off the wire along with
+        #: its client-facing host.
+        self.endpoint_host = f"{server.host}.repl"
+        endpoint = segment.attach(self.endpoint_host)
+        self.rpc = RpcClient(self.env, endpoint, server.host)
+        #: Whether this member is the group's acting primary.
+        self.active = False
+        #: Highest batch sequence number applied to the local UFS.
+        self.applied_seq = 0
+        self._next_seq = 1
+        #: Every batch this member issued or applied, in sequence order —
+        #: replayed at promotion to resync lagging peers.
+        self._log: List[ReplBatch] = []
+        self._queues: Dict[str, Store] = {}
+        self._sessions: Dict[str, object] = {}
+        self._pending: List[_Pending] = []
+        self.peers: List[str] = []
+        metrics = registry_for(self.env)
+        prefix = f"{server.host}.replica"
+        self.batches = metrics.counter(f"{prefix}.batches")
+        self.ops = metrics.counter(f"{prefix}.ops")
+        self.acks = metrics.counter(f"{prefix}.acks")
+        self.resyncs = metrics.counter(f"{prefix}.resyncs")
+        #: Commit-path stall waiting for quorum (the replication cost).
+        self.wait = metrics.tally(f"{prefix}.wait")
+        server.replicator = self
+        server._actions[PROC_REPLICATE] = self.handle_replicate
+
+    # -- primary role ----------------------------------------------------------
+
+    def activate(self, resync: bool = False) -> None:
+        """Become the acting primary's engine.
+
+        Picks up the surviving peers, restarts sequence numbering from the
+        local applied prefix, and (on promotion) replays the retained log
+        so every peer converges on this member's prefix before new client
+        batches extend it.
+        """
+        self.active = True
+        self._next_seq = self.applied_seq + 1
+        # Peers are addressed by their *main* host: REPLICATE arrives on
+        # the member's NFS endpoint and dispatches like any other proc.
+        self.peers = [
+            member.host
+            for member in self.group.surviving()
+            if member is not self.server
+        ]
+        for host in self.peers:
+            if host not in self._queues:
+                self._queues[host] = Store(self.env)
+            if host not in self._sessions:
+                self._sessions[host] = self.env.process(
+                    self._session(host),
+                    name=f"repl:{self.server.host}->{host}",
+                )
+        if resync:
+            self.resyncs.add(1)
+            for batch in self._log:
+                pending = _Pending(batch, needed=0, event=None)
+                for host in self.peers:
+                    self._queues[host].put(pending)
+
+    def replicate(self, ops: List[ReplOp]) -> Event:
+        """Ship one committed batch; returns the quorum event.
+
+        The event fires once ``min(quorum, live peers)`` backups ack
+        stable storage — immediately when that is zero (K=0, or every
+        backup has failed: the group degenerates to a single server and
+        the local commit is the whole promise).
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        # The primary itself applied the batch at commit time.
+        self.applied_seq = seq
+        batch = ReplBatch(seq=seq, ops=list(ops))
+        self._log.append(batch)
+        self.batches.add(1)
+        self.ops.add(len(ops))
+        event = Event(self.env)
+        needed = min(self.quorum, len(self.peers))
+        if needed == 0:
+            event.succeed()
+            return event
+        pending = _Pending(batch, needed=needed, event=event)
+        self._pending.append(pending)
+        for host in self.peers:
+            self._queues[host].put(pending)
+        return event
+
+    def commit_wait(self, ops: List[ReplOp]) -> Generator:
+        """Replicate and block until quorum (driven by a write path)."""
+        started = self.env.now
+        done = self.replicate(ops)
+        if not done.triggered:
+            yield done
+        self.wait.observe(self.env.now - started)
+
+    def write_op(self, vnode, offset: int, data: bytes, call, fattr: Fattr) -> ReplOp:
+        """The ReplOp for one stable WRITE in a committed batch."""
+        return ReplOp(
+            proc=PROC_WRITE,
+            ino=vnode.ino,
+            generation=vnode.inode.generation,
+            offset=offset,
+            data=data,
+            client=call.client if call is not None else "",
+            xid=call.xid if call is not None else 0,
+            reply=(
+                RpcReply(xid=call.xid, status="ok", result=fattr)
+                if call is not None
+                else None
+            ),
+        )
+
+    def replicates(self, proc: str) -> bool:
+        return proc in REPLICATED_NAMESPACE
+
+    def replicate_namespace(
+        self, handle, proc: str, result, size: int
+    ) -> Generator:
+        """Forward one committed namespace mutation and wait for quorum.
+
+        Runs between the action routine and its reply, so the reply the
+        client sees is released only after the mutation is quorum-stable.
+        """
+        call = handle.call
+        op = namespace_op(proc, call.args, result)
+        if op is None:
+            return
+        op.client = call.client
+        op.xid = call.xid
+        op.reply = RpcReply(xid=call.xid, status="ok", result=result, size=size)
+        yield from self.commit_wait([op])
+
+    def _session(self, host: str) -> Generator:
+        """FIFO shipping to one peer: one batch in flight, hard-retry.
+
+        Retransmissions ride the RPC layer (the backup's seq guard makes
+        duplicates idempotent); FIFO + one-in-flight means the peer's
+        applied set is always a gapless prefix of the issue order — the
+        invariant behind freshest-backup promotion.
+        """
+        queue = self._queues[host]
+        try:
+            while True:
+                pending = yield queue.get()
+                reply = yield from self.rpc.call(
+                    PROC_REPLICATE,
+                    pending.batch,
+                    size=pending.batch.wire_size(),
+                    weight=CLASS_HEAVY,
+                    server=host,
+                )
+                if not reply.ok:
+                    continue  # peer refused the batch; divergence checks will tell
+                self.acks.add(1)
+                pending.acks += 1
+                if (
+                    pending.event is not None
+                    and not pending.event.triggered
+                    and pending.acks >= pending.needed
+                ):
+                    pending.event.succeed()
+        except Interrupt:
+            return
+
+    def halt(self) -> None:
+        """Crash path: replication state is volatile and dies in place.
+
+        Queued batches vanish, sessions stop, and every unreached quorum
+        fires — releasing any nfsd blocked on it so vnode locks free up;
+        the replies it would send are dropped anyway by the server's
+        crash-incarnation guard.
+        """
+        self.active = False
+        for queue in self._queues.values():
+            queue.items.clear()
+        for process in self._sessions.values():
+            if process.is_alive and process.target is not None:
+                process.interrupt("replicator halt")
+        self._sessions.clear()
+        for pending in self._pending:
+            if pending.event is not None and not pending.event.triggered:
+                pending.event.succeed()
+        self._pending.clear()
+
+    # -- backup role -----------------------------------------------------------
+
+    def handle_replicate(self, batch: ReplBatch) -> Generator:
+        """Apply one replicated batch (server action routine).
+
+        Acks carry this member's applied sequence number; a duplicate
+        delivery (RPC retransmission or a promotion-time resync replay)
+        is acked without re-execution.
+        """
+        if batch.seq <= self.applied_seq:
+            return self.applied_seq, RPC_HEADER_BYTES
+        yield from self._apply(batch)
+        self.applied_seq = batch.seq
+        self._log.append(batch)
+        return self.applied_seq, RPC_HEADER_BYTES
+
+    def _apply(self, batch: ReplBatch) -> Generator:
+        """Replay a batch against the local UFS, mirroring one gathered
+        flush: data lands delayed, then one syncdata+fsync per file."""
+        ufs = self.server.ufs
+        touched: Dict[int, List[int]] = {}
+        for op in batch.ops:
+            try:
+                yield from self._apply_op(ufs, op, touched)
+            except FsError:
+                # A structurally impossible replay (e.g. the file vanished
+                # from a gap we never saw) — the divergence check surfaces
+                # it; keep applying the rest of the batch.
+                continue
+            if op.reply is not None and op.client:
+                self.server.svc.dup_cache.record_done(
+                    RpcCall(
+                        xid=op.xid,
+                        proc=op.proc,
+                        args=None,
+                        size=max(1, op.wire_bytes()),
+                        client=op.client,
+                    ),
+                    op.reply,
+                )
+        for ino, (low, high) in touched.items():
+            inode = ufs.inodes.get(ino)
+            if inode is None:
+                continue  # removed later in the same batch
+            yield from ufs.sync_data(inode, low, high)
+            if inode.inode_dirty or inode.indirect_dirty:
+                yield from ufs.fsync(inode, metadata_only=True)
+
+    def _apply_op(self, ufs, op: ReplOp, touched: Dict[int, List[int]]) -> Generator:
+        from repro.fs.vfs import IO_DELAYDATA
+
+        if op.proc == PROC_WRITE:
+            inode = ufs.get_inode(op.ino)
+            yield from ufs.write(inode, op.offset, op.data, IO_DELAYDATA)
+            end = op.offset + len(op.data)
+            extent = touched.get(op.ino)
+            if extent is None:
+                touched[op.ino] = [op.offset, end]
+            else:
+                extent[0] = min(extent[0], op.offset)
+                extent[1] = max(extent[1], end)
+        elif op.proc in (PROC_CREATE, PROC_SYMLINK):
+            directory = ufs.get_inode(op.dir_ino)
+            if op.name in directory.entries:
+                return
+            if op.proc == PROC_SYMLINK:
+                inode = yield from ufs.symlink(
+                    directory, op.name, op.extra["target"], ino=op.ino
+                )
+            else:
+                inode = yield from ufs.create(directory, op.name, ino=op.ino)
+            inode.generation = op.generation
+        elif op.proc == PROC_REMOVE:
+            directory = ufs.get_inode(op.dir_ino)
+            target = directory.entries.get(op.name)
+            if target is None:
+                return
+            yield from ufs.remove(directory, op.name)
+            self.server.vnodes.forget(target)
+        elif op.proc == PROC_RENAME:
+            src = ufs.get_inode(op.dir_ino)
+            if op.name not in src.entries:
+                return
+            dst = ufs.get_inode(op.extra["dst_dir_ino"])
+            yield from ufs.rename(src, op.name, dst, op.extra["dst_name"])
+        elif op.proc == PROC_SETATTR:
+            inode = ufs.get_inode(op.ino)
+            if op.extra.get("mtime") is not None:
+                inode.mtime = op.extra["mtime"]
+            if op.extra.get("size") is not None:
+                inode.size = min(inode.size, op.extra["size"])
+            ufs._mark_meta_dirty(inode)
+            yield from ufs._write_inode_sync(inode)

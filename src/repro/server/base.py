@@ -37,6 +37,7 @@ from repro.nfs.protocol import (
 )
 from repro.obs import (
     PHASE_DISPATCH,
+    PHASE_REPLICATE,
     PHASE_REPLY,
     PHASE_VNODE_WAIT,
     collector_for,
@@ -120,6 +121,11 @@ class NfsServer:
                 )
             )
         self.write_path = self._make_write_path()
+        #: Replica-group engine (repro.replica), installed by the cluster
+        #: when the shard has backups; None on standalone servers.  When
+        #: active, committed writes and namespace mutations must reach a
+        #: quorum of backups before their replies are released.
+        self.replicator = None
         self.ops_completed: Dict[str, Counter] = {}
         self.op_latency = self.metrics.tally(f"{host}.op_latency")
         self.write_latency = self.metrics.tally(f"{host}.write_latency")
@@ -279,6 +285,17 @@ class NfsServer:
         except FsError as exc:
             yield from self.reply(handle, exc.code, None)
             return REPLY_DONE
+        if (
+            self.replicator is not None
+            and self.replicator.active
+            and self.replicator.replicates(proc)
+        ):
+            # The mutation is locally committed; hold the reply until a
+            # quorum of backups has it on stable storage too.
+            replicate_started = self.env.now
+            trace = self.trace_of(handle)
+            yield from self.replicator.replicate_namespace(handle, proc, result, size)
+            self.emit_span(trace, PHASE_REPLICATE, replicate_started, proc=proc)
         yield from self.reply(handle, "ok", result, size)
         return REPLY_DONE
 
@@ -399,6 +416,11 @@ class NfsServer:
             for queue in queues:
                 for descriptor in queue.take_all():
                     self.svc.abandon(descriptor.handle)
+        # Replication state is volatile too: queued batches die, sessions
+        # stop, and any nfsd blocked on a quorum is released (its reply is
+        # dropped by the incarnation guard above).
+        if self.replicator is not None:
+            self.replicator.halt()
         # The buffer cache and in-core inodes revert to the durable image.
         self.ufs.reset_volatile()
 

@@ -14,7 +14,13 @@ from typing import Generator
 from repro.fs.ufs import FsError
 from repro.fs.vfs import IO_SYNC
 from repro.nfs.protocol import Fattr
-from repro.obs import PHASE_COMMIT, PHASE_REPLY, PHASE_VNODE_WAIT, registry_for
+from repro.obs import (
+    PHASE_COMMIT,
+    PHASE_REPLICATE,
+    PHASE_REPLY,
+    PHASE_VNODE_WAIT,
+    registry_for,
+)
 from repro.rpc.server import REPLY_DONE, TransportHandle
 
 __all__ = ["StandardWritePath"]
@@ -58,6 +64,21 @@ class StandardWritePath:
             # their (now moot) commit state is exempt.
             if handle.acquired_at > getattr(self.server, "last_crash_time", -1.0):
                 self.server.check_stable(vnode, args.offset, args.data)
+            # Replica groups: the reply also waits for a quorum of backups
+            # (inside the lock, so replication order is commit order).
+            replicator = getattr(self.server, "replicator", None)
+            if replicator is not None and replicator.active:
+                replicate_started = self.env.now
+                yield from replicator.commit_wait(
+                    [
+                        replicator.write_op(
+                            vnode, args.offset, args.data, handle.call, fattr
+                        )
+                    ]
+                )
+                self.server.emit_span(
+                    trace, PHASE_REPLICATE, replicate_started, ino=vnode.ino
+                )
         stable_at = self.env.now
         yield from self.server.reply(handle, "ok", fattr)
         self.server.emit_span(trace, PHASE_REPLY, stable_at)

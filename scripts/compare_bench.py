@@ -3,14 +3,25 @@
 
 Usage::
 
-    python scripts/compare_bench.py BASELINE.json FRESH.json [--max-ratio 2.0]
+    python scripts/compare_bench.py BASELINE.json FRESH.json \\
+        [--max-ratio 2.0] [--min-ops-ratio 0.5]
 
-Per (write_path, presto) cell, fail (exit 1) if the fresh p99 write
-latency exceeds ``max_ratio`` times the baseline's — the CI guard the
-perf baseline exists for.  Cells present in only one file fail too: a
-silently dropped cell would hide exactly the regression being guarded.
-The simulation is deterministic, so at equal code the ratio is 1.0;
-anything approaching the threshold is a real code-path change.
+Two gates, one per direction the baseline can rot:
+
+* **Simulated quality** — per (write_path, presto) cell, fail (exit 1)
+  if the fresh p99 write latency exceeds ``max_ratio`` times the
+  baseline's.  The simulation is deterministic, so at equal code the
+  ratio is exactly 1.0; anything approaching the threshold is a real
+  code-path change.
+* **Simulator throughput** — fail if the fresh ``sim_ops_per_sec``
+  (NFS ops completed per wall-clock second) drops below
+  ``min_ops_ratio`` times the baseline's.  This is the hot-path guard:
+  an accidental per-byte copy or a chatty inner loop halves it long
+  before anyone notices interactively.  Baselines predating the field
+  are skipped with a note (the gate arms itself on the next refresh).
+
+Cells present in only one file fail too: a silently dropped cell would
+hide exactly the regression being guarded.
 """
 
 from __future__ import annotations
@@ -33,6 +44,13 @@ def main(argv=None) -> int:
         type=float,
         default=2.0,
         help="fail if fresh p99 > max-ratio x baseline p99 (default: 2.0)",
+    )
+    parser.add_argument(
+        "--min-ops-ratio",
+        type=float,
+        default=0.5,
+        help="fail if fresh sim_ops_per_sec < min-ops-ratio x baseline "
+        "(default: 0.5; skipped when the baseline lacks the field)",
     )
     args = parser.parse_args(argv)
     with open(args.baseline) as handle:
@@ -62,12 +80,34 @@ def main(argv=None) -> int:
                 f"{label}: p99 write latency regressed x{ratio:.3f} "
                 f"(limit x{args.max_ratio})"
             )
+        base_ops = baseline[key].get("sim_ops_per_sec")
+        fresh_ops = fresh[key].get("sim_ops_per_sec")
+        if not base_ops:
+            print(f"  {label:<18} ops/s gate skipped (baseline lacks sim_ops_per_sec)")
+            continue
+        if not fresh_ops:
+            failures.append(f"{label}: fresh run lacks sim_ops_per_sec")
+            continue
+        ops_ratio = fresh_ops / base_ops
+        marker = "FAIL" if ops_ratio < args.min_ops_ratio else "ok"
+        print(
+            f"  {label:<18} ops/s {base_ops:>9.1f} -> {fresh_ops:>9.1f} "
+            f"(x{ops_ratio:.3f}) {marker}"
+        )
+        if ops_ratio < args.min_ops_ratio:
+            failures.append(
+                f"{label}: simulator throughput regressed to x{ops_ratio:.3f} "
+                f"of baseline (floor x{args.min_ops_ratio})"
+            )
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print("bench within budget: no p99 write-latency regression")
+    print(
+        "bench within budget: no p99 write-latency regression, "
+        "simulator throughput above floor"
+    )
     return 0
 
 

@@ -30,7 +30,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import warnings
 from typing import List, Optional
 
 from repro.core.policy import GatherPolicy
@@ -62,17 +61,12 @@ def _add_write_path_options(parser: argparse.ArgumentParser, siva: bool = True) 
         default=None,
         help="rfs_write implementation to run (default: standard)",
     )
-    parser.add_argument(
-        "--gather",
-        action="store_true",
-        help="(deprecated) alias for --write-path gather",
-    )
+    # The old boolean aliases are *removed* (they spent one release as
+    # deprecated warnings).  They stay registered so the error is ours —
+    # a pointer at --write-path — instead of argparse's "unrecognized".
+    parser.add_argument("--gather", action="store_true", help=argparse.SUPPRESS)
     if siva:
-        parser.add_argument(
-            "--siva",
-            action="store_true",
-            help="(deprecated) alias for --write-path siva",
-        )
+        parser.add_argument("--siva", action="store_true", help=argparse.SUPPRESS)
 
 
 def _add_net_fault_options(parser: argparse.ArgumentParser) -> None:
@@ -91,24 +85,15 @@ def _add_net_fault_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _resolve_write_path(args) -> WritePath:
-    """Fold the new --write-path option and the legacy flags together."""
-    gather = getattr(args, "gather", False)
-    siva = getattr(args, "siva", False)
-    if gather and siva:
-        raise _UsageError("choose at most one of --gather / --siva")
-    legacy = WritePath.GATHER if gather else (WritePath.SIVA if siva else None)
-    if legacy is not None:
-        flag = "--gather" if gather else "--siva"
-        message = f"{flag} is deprecated; use --write-path {legacy}"
-        warnings.warn(message, DeprecationWarning, stacklevel=2)
-        print(f"note: {message}", file=sys.stderr)
-        if args.write_path is not None and args.write_path != legacy.value:
+    """Resolve --write-path, rejecting the removed boolean aliases."""
+    for flag, value in (("--gather", "gather"), ("--siva", "siva")):
+        if getattr(args, value, False):
             raise _UsageError(
-                f"conflicting write paths: {flag} vs --write-path {args.write_path}"
+                f"{flag} was removed; use --write-path {value} instead"
             )
     if args.write_path is not None:
         return WritePath.coerce(args.write_path)
-    return legacy if legacy is not None else WritePath.STANDARD
+    return WritePath.STANDARD
 
 
 def _config_from_args(args, write_path: WritePath, tracing: bool = False) -> TestbedConfig:
@@ -208,6 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--file-kb", type=int, default=192, help="per-file workload size (default: 192)"
+    )
+    chaos.add_argument(
+        "--payload",
+        choices=["full", "flyweight"],
+        default="full",
+        help="payload fidelity: full bytes (oracle byte-compares) or "
+        "flyweight extents (durability-only oracle; default: full)",
     )
     chaos.add_argument("--json", action="store_true", help="emit the full report as JSON")
 
@@ -367,6 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the canonical JSON to this file (e.g. BENCH_1.json)",
     )
+    bench.add_argument(
+        "--payload",
+        choices=["full", "flyweight"],
+        default="flyweight",
+        help="payload fidelity; the grid's simulated numbers are identical "
+        "either way, flyweight just runs faster (default: flyweight)",
+    )
     bench.add_argument("--json", action="store_true", help="print the report as JSON")
 
     replica = subparsers.add_parser(
@@ -418,6 +417,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replica.add_argument("--net", choices=sorted(_NETWORKS), default="fddi")
     replica.add_argument("--seed", type=int, default=0)
+    replica.add_argument(
+        "--payload",
+        choices=["full", "flyweight"],
+        default="full",
+        help="payload fidelity: full bytes (group oracle byte-compares) or "
+        "flyweight extents (durability-only; default: full)",
+    )
     replica.add_argument("--json", action="store_true", help="emit the result as JSON")
     return parser
 
@@ -530,8 +536,6 @@ def _cmd_claims(_args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from repro.faults import ChaosCampaign
-
     presto_modes = {"off": (False,), "on": (True,), "both": (False, True)}[args.presto]
 
     def progress(result) -> None:
@@ -544,21 +548,24 @@ def _cmd_chaos(args) -> int:
                 f"retrans={result.retransmissions:<3} {status}"
             )
 
-    campaign = ChaosCampaign(
-        seed=args.seed,
-        plans_per_combo=args.plans,
-        write_paths=args.write_paths,
-        presto_modes=presto_modes,
-        file_kb=args.file_kb,
-        progress=progress,
-    )
     if not args.json:
-        combos = len(campaign.combos())
+        combos = len(args.write_paths) * len(presto_modes)
         print(
             f"chaos campaign: seed={args.seed}, {args.plans} plans x "
             f"{combos} combos, {args.file_kb} KB files"
         )
-    report = campaign.run()
+    report = run(
+        ExperimentSpec(
+            kind="chaos",
+            seed=args.seed,
+            plans=args.plans,
+            write_paths=args.write_paths,
+            presto_modes=presto_modes,
+            file_kb=args.file_kb,
+            payload=args.payload,
+            progress=progress,
+        )
+    )
     if args.json:
         print(report.to_json())
     else:
@@ -579,7 +586,7 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_overload(args) -> int:
-    from repro.overload import MODES, OverloadConfig, run_overload
+    from repro.overload import MODES, OverloadConfig
 
     if args.no_adapt and args.adapt_only:
         print("--no-adapt and --adapt-only are mutually exclusive", file=sys.stderr)
@@ -613,7 +620,7 @@ def _cmd_overload(args) -> int:
             f"overload sweep: seed={config.seed}, {config.clients} clients, "
             f"loads [{loads_kbs}] KB/s each, modes {'+'.join(config.modes)}"
         )
-    report = run_overload(config, progress=progress)
+    report = run(ExperimentSpec(kind="overload", config=config, progress=progress))
     if args.json:
         print(report.to_json())
     else:
@@ -758,7 +765,7 @@ def _print_cluster_result(result) -> None:
 
 
 def _cmd_cluster(args) -> int:
-    from repro.cluster import ShardCrash, run_cluster, run_scaling_sweep
+    from repro.cluster import ShardCrash
 
     try:
         write_path = _resolve_write_path(args)
@@ -779,13 +786,16 @@ def _cmd_cluster(args) -> int:
                     f"{row.aggregate_kb_per_sec:.0f} KB/s"
                 )
 
-        sweep = run_scaling_sweep(
-            base,
-            server_counts=args.servers,
-            client_counts=args.clients,
-            files_per_client=args.files,
-            file_kb=args.file_kb,
-            progress=progress,
+        sweep = run(
+            ExperimentSpec(
+                kind="cluster",
+                config=base,
+                server_counts=args.servers,
+                client_counts=args.clients,
+                files_per_client=args.files,
+                file_kb=args.file_kb,
+                progress=progress,
+            )
         )
         if args.json:
             print(sweep.to_json())
@@ -822,12 +832,15 @@ def _cmd_cluster(args) -> int:
             )
         ]
     config = _cluster_config_from_args(args, write_path, servers=args.servers[0])
-    result = run_cluster(
-        config,
-        clients=args.clients[0],
-        files_per_client=args.files,
-        file_kb=args.file_kb,
-        crashes=crashes,
+    result = run(
+        ExperimentSpec(
+            kind="cluster",
+            config=config,
+            clients=args.clients[0],
+            files_per_client=args.files,
+            file_kb=args.file_kb,
+            crashes=crashes,
+        )
     )
     if args.json:
         print(result.to_json())
@@ -838,7 +851,6 @@ def _cmd_cluster(args) -> int:
 
 def _cmd_replica(args) -> int:
     from repro.cluster import ClusterConfig
-    from repro.replica import run_replica
 
     config = ClusterConfig(
         servers=args.servers,
@@ -864,14 +876,18 @@ def _cmd_replica(args) -> int:
             f"replica: {args.servers} shards x {args.clients} clients, "
             f"{args.crashes}-crash storm, seed {args.seed}"
         )
-    result = run_replica(
-        config,
-        replica_counts=args.replicas,
-        clients=args.clients,
-        files_per_client=args.files,
-        file_kb=args.file_kb,
-        storm_crashes=args.crashes,
-        progress=progress,
+    result = run(
+        ExperimentSpec(
+            kind="replica",
+            config=config,
+            replica_counts=args.replicas,
+            clients=args.clients,
+            files_per_client=args.files,
+            file_kb=args.file_kb,
+            storm_crashes=args.crashes,
+            payload=args.payload,
+            progress=progress,
+        )
     )
     if args.json:
         print(result.to_json())
@@ -891,7 +907,7 @@ def _cmd_replica(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.experiments.bench import bench_to_json, run_bench, write_bench
+    from repro.experiments.bench import bench_to_json, write_bench
 
     def progress(cell) -> None:
         if not args.json:
@@ -909,13 +925,16 @@ def _cmd_bench(args) -> int:
             f"bench: {args.net}, {args.file_mb} MB copy, {args.biods} biods, "
             f"seed {args.seed}"
         )
-    report = run_bench(
-        _NETWORKS[args.net],
-        args.net,
-        file_mb=args.file_mb,
-        biods=args.biods,
-        seed=args.seed,
-        progress=progress,
+    report = run(
+        ExperimentSpec(
+            kind="bench",
+            net=args.net,
+            file_mb=args.file_mb,
+            biods=args.biods,
+            seed=args.seed,
+            payload=args.payload,
+            progress=progress,
+        )
     )
     if args.out:
         write_bench(report, args.out)

@@ -20,10 +20,13 @@ import json
 from dataclasses import dataclass, field
 from typing import Generator, List, Optional, Sequence
 
+import warnings
+
 from repro.cluster.failover import FailoverController, ShardCrash
 from repro.cluster.fleet import Cluster, ClusterConfig
 from repro.cluster.oracle import ClusterOracle
 from repro.nfs.client import NfsClient
+from repro.payload import PAYLOAD_FULL
 from repro.sim import AllOf, Environment
 from repro.workload.sequential import write_file
 
@@ -119,9 +122,12 @@ def _client_workload(
     names: Sequence[str],
     nbytes: int,
     think_time: float,
+    payload: str = PAYLOAD_FULL,
 ) -> Generator:
     for name in names:
-        yield from write_file(env, client, name, nbytes, think_time=think_time)
+        yield from write_file(
+            env, client, name, nbytes, think_time=think_time, payload=payload
+        )
     return env.now
 
 
@@ -134,13 +140,14 @@ def _client_workload(
 CLUSTER_THINK_TIME = 0.006
 
 
-def run_cluster(
+def _run_cluster(
     config: ClusterConfig,
     clients: int = 4,
     files_per_client: int = 2,
     file_kb: int = 64,
     think_time: float = CLUSTER_THINK_TIME,
     crashes: Optional[Sequence[ShardCrash]] = None,
+    payload: str = PAYLOAD_FULL,
 ) -> ClusterRunResult:
     """Run the sharded write workload (optionally under shard crashes)."""
     if clients < 1:
@@ -164,6 +171,7 @@ def run_cluster(
                     _client_files(host, files_per_client),
                     nbytes,
                     think_time,
+                    payload,
                 ),
                 name=f"workload:{host}",
             )
@@ -266,7 +274,7 @@ class ScalingSweepResult:
         return all(row.clean for row in self.rows)
 
 
-def run_scaling_sweep(
+def _run_scaling_sweep(
     base: ClusterConfig,
     server_counts: Sequence[int],
     client_counts: Sequence[int],
@@ -274,6 +282,7 @@ def run_scaling_sweep(
     file_kb: int = 64,
     think_time: float = CLUSTER_THINK_TIME,
     progress=None,
+    payload: str = PAYLOAD_FULL,
 ) -> ScalingSweepResult:
     """Sweep the fleet size against the client population.
 
@@ -283,12 +292,13 @@ def run_scaling_sweep(
     rows: List[ClusterRunResult] = []
     for servers in server_counts:
         for clients in client_counts:
-            result = run_cluster(
+            result = _run_cluster(
                 base.variant(servers=servers),
                 clients=clients,
                 files_per_client=files_per_client,
                 file_kb=file_kb,
                 think_time=think_time,
+                payload=payload,
             )
             rows.append(result)
             if progress is not None:
@@ -298,3 +308,27 @@ def run_scaling_sweep(
         client_counts=list(client_counts),
         rows=rows,
     )
+
+
+def run_cluster(*args, **kwargs) -> ClusterRunResult:
+    """Deprecated entry point; use :func:`repro.experiments.run` with
+    ``ExperimentSpec(kind="cluster", ...)``."""
+    warnings.warn(
+        "run_cluster() is deprecated; use repro.experiments.run("
+        "ExperimentSpec(kind='cluster', ...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_cluster(*args, **kwargs)
+
+
+def run_scaling_sweep(*args, **kwargs) -> ScalingSweepResult:
+    """Deprecated entry point; use :func:`repro.experiments.run` with
+    ``ExperimentSpec(kind="cluster", server_counts=..., client_counts=...)``."""
+    warnings.warn(
+        "run_scaling_sweep() is deprecated; use repro.experiments.run("
+        "ExperimentSpec(kind='cluster', server_counts=..., client_counts=...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_scaling_sweep(*args, **kwargs)

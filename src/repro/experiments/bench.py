@@ -15,10 +15,12 @@ so any perf-affecting PR has a baseline to diff against.
 from __future__ import annotations
 
 import json
+import time
 
 from repro.experiments.testbed import Testbed, TestbedConfig
 from repro.net.spec import NetSpec
 from repro.obs import registry_for
+from repro.payload import PAYLOAD_FLYWEIGHT, PAYLOAD_FULL, coerce_payload_mode
 from repro.server.config import WritePath
 from repro.workload.sequential import write_file
 
@@ -37,9 +39,20 @@ PRESTO_BYTES = 1 << 20
 
 
 def run_bench_cell(
-    config: TestbedConfig, file_mb: float, think_time: float = 0.0005
+    config: TestbedConfig,
+    file_mb: float,
+    think_time: float = 0.0005,
+    payload: str = PAYLOAD_FULL,
 ) -> dict:
-    """One cell: a seeded sequential copy, measured client- and disk-side."""
+    """One cell: a seeded sequential copy, measured client- and disk-side.
+
+    ``payload`` selects byte fidelity (:mod:`repro.payload`): the default
+    ``"full"`` writes real bytes, ``"flyweight"`` writes extent stand-ins.
+    Every simulated number in the cell is identical across the two modes;
+    only the wall-clock-derived ``sim_ops_per_sec`` differs (which is the
+    point of the flyweight mode).
+    """
+    wall_started = time.perf_counter()
     testbed = Testbed(config)
     # Pre-register the client's write-latency tally *with samples* before
     # the client builds (registration is get-or-create), so percentiles
@@ -51,12 +64,16 @@ def run_bench_cell(
     env = testbed.env
     nbytes = int(file_mb * 1024 * 1024)
     proc = env.process(
-        write_file(env, client, "benchfile", nbytes, think_time=think_time),
+        write_file(
+            env, client, "benchfile", nbytes, think_time=think_time, payload=payload
+        ),
         name="bench",
     )
     env.run(until=proc)
     elapsed = proc.value
     env.run()  # drain NVRAM destage etc. so disk totals are final
+    wall_seconds = time.perf_counter() - wall_started
+    sim_ops = sum(counter.value for counter in testbed.server.ops_completed.values())
     total_bytes, total_transactions = testbed.disk_stats_totals()
     disk_writes = sum(d.stats.writes.value for d in testbed.disks)
     return {
@@ -72,6 +89,12 @@ def run_bench_cell(
         "disk_writes_per_mb": round(disk_writes / file_mb, 2),
         "disk_kb_per_sec": round(total_bytes / elapsed / 1024.0, 2),
         "disk_trans_per_sec": round(total_transactions / elapsed, 2),
+        # NFS operations the server completed per *wall-clock* second:
+        # the simulator-throughput number the perf baseline gates on.
+        # Wall-time-derived, so it is the one nondeterministic field in
+        # the cell; determinism comparisons must exclude it.
+        "sim_ops": int(sim_ops),
+        "sim_ops_per_sec": round(sim_ops / wall_seconds, 1) if wall_seconds else 0.0,
     }
 
 
@@ -82,12 +105,18 @@ def run_bench(
     biods: int = 7,
     seed: int = 0,
     progress=None,
+    payload: str = PAYLOAD_FLYWEIGHT,
 ) -> dict:
     """The full grid: every write path × Presto off/on, one seed.
 
     Returns a JSON-ready document (stable key order, rounded floats) that
-    is byte-identical across same-seed reruns.
+    is byte-identical across same-seed reruns, except ``sim_ops_per_sec``
+    (wall-clock-derived by construction).  The grid defaults to flyweight
+    payloads — the throughput baseline needs no byte fidelity, and every
+    simulated number is identical either way; pass ``payload="full"`` to
+    force real bytes.
     """
+    payload = coerce_payload_mode(payload)
     cells = []
     for write_path in WritePath:
         for presto in (False, True):
@@ -98,7 +127,7 @@ def run_bench(
                 presto_bytes=PRESTO_BYTES if presto else None,
                 seed=seed,
             )
-            cell = run_bench_cell(config, file_mb)
+            cell = run_bench_cell(config, file_mb, payload=payload)
             cells.append(cell)
             if progress is not None:
                 progress(cell)
@@ -108,6 +137,7 @@ def run_bench(
         "file_mb": file_mb,
         "biods": biods,
         "seed": seed,
+        "payload": payload,
         "cells": cells,
     }
 

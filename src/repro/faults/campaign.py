@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import json
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.experiments.testbed import Testbed, TestbedConfig
 from repro.faults.controller import FaultController
@@ -36,6 +37,7 @@ from repro.faults.events import (
 )
 from repro.faults.oracle import Oracle
 from repro.net.spec import FDDI
+from repro.payload import PAYLOAD_FULL, coerce_payload_mode
 from repro.obs import PHASE_DISPATCH, PHASE_PROCRASTINATE, PHASE_VNODE_WAIT
 from repro.sim import AllOf
 from repro.workload import write_file
@@ -222,8 +224,15 @@ def run_plan(
     file_kb: int = 192,
     files: int = 2,
     think_time: float = 0.0005,
+    payload: str = PAYLOAD_FULL,
 ) -> PlanResult:
-    """Run one plan to completion and return its checked result."""
+    """Run one plan to completion and return its checked result.
+
+    ``payload`` selects byte fidelity (:mod:`repro.payload`).  In
+    flyweight mode the oracle still asserts durability of every acked
+    range (and fsck still runs); only the byte-content comparison is
+    waived.  Simulated timelines and counts are identical either way.
+    """
     testbed = Testbed(config)
     client = testbed.add_client()
     oracle = Oracle(testbed)
@@ -232,7 +241,14 @@ def run_plan(
     env = testbed.env
     writers = [
         env.process(
-            write_file(env, client, f"chaos-{index}", file_kb * 1024, think_time=think_time),
+            write_file(
+                env,
+                client,
+                f"chaos-{index}",
+                file_kb * 1024,
+                think_time=think_time,
+                payload=payload,
+            ),
             name=f"writer:{index}",
         )
         for index in range(files)
@@ -269,6 +285,7 @@ class ChaosCampaign:
         file_kb: int = 192,
         netspec=FDDI,
         progress=None,
+        payload: str = PAYLOAD_FULL,
     ) -> None:
         if plans_per_combo < 1:
             raise ValueError(f"plans_per_combo must be >= 1, got {plans_per_combo}")
@@ -280,6 +297,8 @@ class ChaosCampaign:
         self.netspec = netspec
         #: Optional callable(result) invoked after each plan (CLI progress).
         self.progress = progress
+        #: Byte fidelity for the workload payloads (:mod:`repro.payload`).
+        self.payload = coerce_payload_mode(payload)
 
     def combos(self) -> List[Tuple[str, bool]]:
         return [
@@ -311,7 +330,8 @@ class ChaosCampaign:
             shed_policy="early-reply",
         )
 
-    def run(self) -> CampaignReport:
+    def execute(self) -> CampaignReport:
+        """Run every plan in every combo (the facade's entry point)."""
         report = CampaignReport(
             seed=self.seed,
             file_kb=self.file_kb,
@@ -321,8 +341,21 @@ class ChaosCampaign:
             config = self.config_for(write_path, presto)
             for index in range(self.plans_per_combo):
                 plan = self.plan_for(write_path, presto, index)
-                result = run_plan(config, plan, file_kb=self.file_kb)
+                result = run_plan(
+                    config, plan, file_kb=self.file_kb, payload=self.payload
+                )
                 report.results.append(result)
                 if self.progress is not None:
                     self.progress(result)
         return report
+
+    def run(self) -> CampaignReport:
+        """Deprecated entry point; use :func:`repro.experiments.run` with
+        ``ExperimentSpec(kind="chaos", ...)``."""
+        warnings.warn(
+            "ChaosCampaign.run() is deprecated; use repro.experiments.run("
+            "ExperimentSpec(kind='chaos', ...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.execute()

@@ -42,7 +42,12 @@ class Oracle:
         #: Per-ino expected content, densely indexed from byte 0.
         self._images: Dict[int, bytearray] = {}
         #: Per-ino mask of which bytes have actually been acked (an image
-        #: may have unwritten gaps that carry no promise).
+        #: may have unwritten gaps that carry no promise).  Flag values:
+        #: 0 = never acked, 1 = acked with known content (byte compare),
+        #: 2 = acked via a flyweight payload (content unknown — only the
+        #: range's durability is promised).  Both nonzero flags count
+        #: identically toward acked runs and byte totals, so accounting is
+        #: mode-independent.
         self._acked: Dict[int, bytearray] = {}
         self.acked_writes = 0
         self.checks = 0
@@ -64,8 +69,13 @@ class Oracle:
         if len(image) < end:
             image.extend(b"\x00" * (end - len(image)))
             mask.extend(b"\x00" * (end - len(mask)))
-        image[offset:end] = data
-        mask[offset:end] = b"\x01" * len(data)
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            image[offset:end] = data
+            mask[offset:end] = b"\x01" * len(data)
+        else:
+            # Flyweight payload: the range is promised durable, its
+            # content is not — flag 2 so checks skip the byte compare.
+            mask[offset:end] = b"\x02" * len(data)
         self.acked_writes += 1
 
     def _acked_runs(self, ino: int) -> List[Tuple[int, int]]:
@@ -81,6 +91,23 @@ class Oracle:
                 start = None
         if start is not None:
             runs.append((start, len(mask)))
+        return runs
+
+    @staticmethod
+    def _content_runs(mask: bytearray, start: int, end: int) -> List[Tuple[int, int]]:
+        """Sub-runs of [start, end) whose bytes were acked *with content*
+        (flag 1); flyweight-acked bytes (flag 2) carry no content promise."""
+        runs: List[Tuple[int, int]] = []
+        run_start = None
+        for position in range(start, end):
+            if mask[position] == 1:
+                if run_start is None:
+                    run_start = position
+            elif run_start is not None:
+                runs.append((run_start, position))
+                run_start = None
+        if run_start is not None:
+            runs.append((run_start, end))
         return runs
 
     def acked_inos(self) -> List[int]:
@@ -105,26 +132,39 @@ class Oracle:
         ufs = self.server.ufs
         for ino in sorted(self._images):
             image = self._images[ino]
+            mask = self._acked[ino]
             for start, end in self._acked_runs(ino):
+                content_runs = self._content_runs(mask, start, end)
+                if not content_runs:
+                    # Flyweight-only run: reachability is the whole promise.
+                    if not ufs.durable_covered(ino, start, end - start):
+                        found.append(
+                            f"[{label} t={now:.6f}] ino {ino} bytes [{start},{end}): "
+                            "acked but not durably readable"
+                        )
+                    continue
                 durable = ufs.durable_read(ino, start, end - start)
                 if durable is None:
                     found.append(
                         f"[{label} t={now:.6f}] ino {ino} bytes [{start},{end}): "
                         "acked but not durably readable"
                     )
-                elif durable != bytes(image[start:end]):
-                    first_bad = next(
-                        index
-                        for index, (got, want) in enumerate(
-                            zip(durable, image[start:end])
+                    continue
+                for sub_start, sub_end in content_runs:
+                    got = durable[sub_start - start : sub_end - start]
+                    want = bytes(image[sub_start:sub_end])
+                    if got != want:
+                        first_bad = next(
+                            index
+                            for index, (got_byte, want_byte) in enumerate(zip(got, want))
+                            if got_byte != want_byte
                         )
-                        if got != want
-                    )
-                    found.append(
-                        f"[{label} t={now:.6f}] ino {ino} bytes [{start},{end}): "
-                        f"durable content differs from acked content "
-                        f"(first mismatch at byte {start + first_bad})"
-                    )
+                        found.append(
+                            f"[{label} t={now:.6f}] ino {ino} bytes "
+                            f"[{sub_start},{sub_end}): durable content differs "
+                            f"from acked content "
+                            f"(first mismatch at byte {sub_start + first_bad})"
+                        )
         report = fsck(ufs, strict=False)
         for error in report.errors:
             found.append(f"[{label} t={now:.6f}] fsck: {error}")
@@ -146,12 +186,20 @@ class Oracle:
         now = self.env.now
         for ino in sorted(self._images):
             image = self._images[ino]
+            mask = self._acked[ino]
             for start, end in self._acked_runs(ino):
-                want = bytes(image[start:end])
-                if not any(
-                    ufs.durable_read(ino, start, end - start) == want
-                    for _name, ufs in members
-                ):
+                content_runs = self._content_runs(mask, start, end)
+                if not content_runs:
+                    satisfied = any(
+                        ufs.durable_covered(ino, start, end - start)
+                        for _name, ufs in members
+                    )
+                else:
+                    satisfied = any(
+                        self._member_holds(ufs, ino, image, start, end, content_runs)
+                        for _name, ufs in members
+                    )
+                if not satisfied:
                     found.append(
                         f"[{label} t={now:.6f}] ino {ino} bytes [{start},{end}): "
                         "acked but missing from every surviving replica"
@@ -165,6 +213,20 @@ class Oracle:
         self.checks += 1
         self.violations.extend(found)
         return found
+
+    @staticmethod
+    def _member_holds(
+        ufs, ino: int, image: bytearray, start: int, end: int, content_runs
+    ) -> bool:
+        """Does one replica hold [start, end) durably, with the acked
+        content wherever content was promised (flag-1 sub-runs)?"""
+        durable = ufs.durable_read(ino, start, end - start)
+        if durable is None:
+            return False
+        return all(
+            durable[sub_start - start : sub_end - start] == bytes(image[sub_start:sub_end])
+            for sub_start, sub_end in content_runs
+        )
 
     @property
     def clean(self) -> bool:

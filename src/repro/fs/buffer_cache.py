@@ -27,7 +27,7 @@ __all__ = ["Buffer", "BufferCache", "DurableImage", "FlushRun"]
 class Buffer:
     """One cached disk block."""
 
-    __slots__ = ("addr", "size", "data", "dirty", "version", "last_use")
+    __slots__ = ("addr", "size", "data", "dirty", "version", "last_use", "lite")
 
     def __init__(self, addr: int, size: int) -> None:
         self.addr = addr
@@ -38,6 +38,20 @@ class Buffer:
         #: buffer if the version is unchanged since the snapshot.
         self.version = 0
         self.last_use = 0.0
+        #: True while the buffer has only ever seen flyweight writes (its
+        #: content is all zeros): flush snapshots then share one immutable
+        #: zero block instead of copying 8K per flush.
+        self.lite = True
+
+
+_ZERO_BLOCKS: Dict[int, bytes] = {}
+
+
+def _zero_block(size: int) -> bytes:
+    block = _ZERO_BLOCKS.get(size)
+    if block is None:
+        block = _ZERO_BLOCKS[size] = bytes(size)
+    return block
 
 
 class DurableImage:
@@ -72,7 +86,12 @@ class FlushRun:
     def snapshot(self) -> None:
         """Capture buffer contents and versions at submit time."""
         self.snapshots = [
-            (buffer, bytes(buffer.data), buffer.version) for buffer in self.buffers
+            (
+                buffer,
+                _zero_block(buffer.size) if buffer.lite else bytes(buffer.data),
+                buffer.version,
+            )
+            for buffer in self.buffers
         ]
 
 
@@ -122,6 +141,7 @@ class BufferCache:
             durable = self.durable.blocks.get(addr)
             if durable is not None:
                 buffer.data[:] = durable
+                buffer.lite = False
             buffer.last_use = self.env.now
             self._buffers[addr] = buffer
             self._evict_if_needed()

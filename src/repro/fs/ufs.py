@@ -212,24 +212,31 @@ class Ufs:
             self.costs.ufs_trip + self.costs.copy_per_byte * len(data)
         )
 
+        # Flyweight payloads (repro.payload.Extent) carry length but no
+        # bytes: charge the same CPU, allocate and dirty the same blocks,
+        # issue the same transactions — skip only the buffer byte copies.
+        flyweight = not isinstance(data, (bytes, bytearray, memoryview))
         touched: List[int] = []
         grew_structure = False
         pos = offset
-        remaining = memoryview(bytes(data))
-        while remaining.nbytes > 0:
+        end = offset + len(data)
+        remaining = None if flyweight else memoryview(bytes(data))
+        while pos < end:
             fblock = pos // self.block_size
             within = pos - fblock * self.block_size
-            take = min(remaining.nbytes, self.block_size - within)
+            take = min(end - pos, self.block_size - within)
             addr = inode.block_addr(fblock)
             if addr is None:
                 addr = self._allocate_block(inode, fblock)
                 grew_structure = True
             buffer = self.cache.get(addr)
-            buffer.data[within : within + take] = remaining[:take]
+            if not flyweight:
+                buffer.data[within : within + take] = remaining[:take]
+                remaining = remaining[take:]
+                buffer.lite = False
             self.cache.mark_dirty(buffer)
             touched.append(addr)
             pos += take
-            remaining = remaining[take:]
 
         if offset + len(data) > inode.size:
             inode.size = offset + len(data)
@@ -619,3 +626,33 @@ class Ufs:
                 out.extend(block[within : within + take])
             pos += take
         return bytes(out)
+
+    def durable_covered(self, ino: int, offset: int, nbytes: int) -> bool:
+        """Would :meth:`durable_read` succeed for [offset, offset+nbytes)?
+
+        The reachability half of the crash contract without the byte
+        assembly: committed metadata maps the whole range and every mapped
+        block is on stable storage.  Flyweight payloads (which carry no
+        content promise) are checked with this instead of a byte compare.
+        """
+        snapshot = self.cache.durable.inodes.get(ino)
+        if snapshot is None:
+            return False
+        end = offset + nbytes
+        if end > snapshot.size:
+            return False
+        durable = self.cache.durable
+        first = offset // self.block_size
+        last = (end - 1) // self.block_size if end > offset else first - 1
+        for fblock in range(first, last + 1):
+            if fblock < NDIRECT:
+                addr = snapshot.direct[fblock]
+            else:
+                indirect = durable.indirects.get(ino)
+                if indirect is None:
+                    return False
+                addr = indirect.get(fblock)
+            # A hole (addr None) reads back as zeros: still covered.
+            if addr is not None and addr not in durable.blocks:
+                return False
+        return True

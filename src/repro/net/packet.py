@@ -17,7 +17,7 @@ __all__ = ["Datagram"]
 _sequence = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Datagram:
     """A UDP datagram in flight or queued in a socket buffer."""
 

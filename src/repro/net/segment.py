@@ -155,9 +155,7 @@ class Segment:
             datagram = yield queue.get()
             lost = yield from self._transmit_frames(datagram)
             # Propagation/delivery happens off the NIC's critical path.
-            self.env.process(
-                self._deliver(datagram, lost), name=f"rx:{datagram.seq}"
-            )
+            self._schedule_delivery(datagram, lost)
 
     def _transmit_frames(self, datagram: Datagram):
         frames = datagram.fragments
@@ -190,7 +188,13 @@ class Segment:
                 lost = True  # keep transmitting; the medium time is spent
         return lost
 
-    def _deliver(self, datagram: Datagram, lost: bool):
+    def _schedule_delivery(self, datagram: Datagram, lost: bool) -> None:
+        """Arrange for ``datagram`` to arrive ``latency`` from now.
+
+        Delivery is a plain callback on a timeout — not a process — so the
+        per-datagram cost is one heap event instead of a full process
+        lifecycle (spawn, initialize, resume, finish).
+        """
         # Fault knobs draw from the RNG only while nonzero, so fault-free
         # runs consume the identical random stream they always did.
         extra_delay = 0.0
@@ -201,15 +205,23 @@ class Segment:
                 self.reordered.add(1)
             if self.duplicate_rate and self._rng.random() < self.duplicate_rate:
                 duplicated = True
-        yield self.env.timeout(self.spec.latency + extra_delay)
+        timer = self.env.timeout(self.spec.latency + extra_delay)
         if lost:
-            self.lost.add(1)
-            return
+            timer.callbacks.append(lambda _ev: self.lost.add(1))
+        elif duplicated:
+            timer.callbacks.append(
+                lambda _ev, d=datagram: self._arrive_with_duplicate(d)
+            )
+        else:
+            timer.callbacks.append(lambda _ev, d=datagram: self._arrive(d))
+
+    def _arrive_with_duplicate(self, datagram: Datagram) -> None:
         self._arrive(datagram)
-        if duplicated:
-            self.duplicated.add(1)
-            yield self.env.timeout(self.spec.latency)
-            self._arrive(self._clone(datagram))
+        self.duplicated.add(1)
+        timer = self.env.timeout(self.spec.latency)
+        timer.callbacks.append(
+            lambda _ev, d=self._clone(datagram): self._arrive(d)
+        )
 
     def _arrive(self, datagram: Datagram) -> None:
         if datagram.src in self._partitioned or datagram.dst in self._partitioned:

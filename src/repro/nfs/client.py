@@ -48,6 +48,7 @@ from repro.nfs.protocol import (
     reply_size,
 )
 from repro.obs import registry_for
+from repro.payload import Extent, ExtentChain, is_bytes_payload
 from repro.rpc.client import RpcClient, RpcTimeoutError
 from repro.sim import AllOf, Environment, Event
 
@@ -286,11 +287,23 @@ class NfsClient:
 
     def write_stream(self, open_file: OpenFile, data: bytes) -> Generator:
         """Application-level sequential write: fills 8K client cache blocks
-        and pushes each full block to the wire via write-behind."""
+        and pushes each full block to the wire via write-behind.
+
+        ``data`` is either real bytes or a flyweight
+        :class:`~repro.payload.Extent`; the two may not be mixed within
+        one partially filled cache block.
+        """
+        if not is_bytes_payload(data):
+            yield from self._write_stream_flyweight(open_file, data)
+            return
         view = memoryview(bytes(data))
         while view.nbytes > 0:
             if not open_file.pending:
                 open_file.pending_offset = open_file.cursor
+            elif isinstance(open_file.pending, ExtentChain):
+                raise TypeError(
+                    "cannot mix byte and flyweight payloads in one cache block"
+                )
             room = NFS_MAX_DATA - len(open_file.pending)
             take = min(room, view.nbytes)
             open_file.pending.extend(view[:take])
@@ -299,9 +312,42 @@ class NfsClient:
             if len(open_file.pending) == NFS_MAX_DATA:
                 yield from self._push_block(open_file)
 
+    def _write_stream_flyweight(self, open_file: OpenFile, extent: Extent) -> Generator:
+        """write_stream for flyweight payloads: identical block-fill logic,
+        accumulating (offset, length, seed) extents instead of bytes."""
+        pos = 0
+        total = len(extent)
+        while pos < total:
+            pending = open_file.pending
+            if not pending:
+                open_file.pending_offset = open_file.cursor
+                if not isinstance(pending, ExtentChain):
+                    pending = open_file.pending = ExtentChain()
+            elif not isinstance(pending, ExtentChain):
+                raise TypeError(
+                    "cannot mix byte and flyweight payloads in one cache block"
+                )
+            room = NFS_MAX_DATA - len(pending)
+            take = min(room, total - pos)
+            pending.append(extent.slice(pos, pos + take))
+            open_file.cursor += take
+            pos += take
+            if len(pending) == NFS_MAX_DATA:
+                yield from self._push_block(open_file)
+
     def write_at(self, open_file: OpenFile, offset: int, data: bytes) -> Generator:
         """Random-access write: goes to the wire immediately (no coalescing),
         in at-most-8K pieces."""
+        if not is_bytes_payload(data):
+            pos = 0
+            total = len(data)
+            while pos < total:
+                take = min(NFS_MAX_DATA, total - pos)
+                yield from self._write_behind(
+                    open_file, offset + pos, data.slice(pos, pos + take)
+                )
+                pos += take
+            return
         view = memoryview(bytes(data))
         pos = offset
         while view.nbytes > 0:
@@ -353,7 +399,11 @@ class NfsClient:
         raise NfsError("EIO")
 
     def _push_block(self, open_file: OpenFile) -> Generator:
-        data = bytes(open_file.pending)
+        pending = open_file.pending
+        if isinstance(pending, ExtentChain):
+            data = pending.payload()
+        else:
+            data = bytes(pending)
         offset = open_file.pending_offset
         open_file.pending = bytearray()
         yield from self._write_behind(open_file, offset, data)

@@ -110,7 +110,19 @@ class PrestoCache(Storage):
             self._declined += 1
             return self.backing.submit(offset, nbytes, is_write=True, kind=kind)
         done = self.env.event()
-        self.env.process(self._accept(done, offset, nbytes, kind))
+        if self._free.try_get(nbytes):
+            # Space available now: reserve synchronously and finish the
+            # NVRAM copy with a timeout callback instead of a process —
+            # one heap event per accepted write instead of a process
+            # lifecycle.  try_get also keeps FIFO fairness: it declines
+            # whenever an earlier writer is already queued for space.
+            accepted_at = self.env.now
+            timer = self.env.timeout(self.copy_overhead + nbytes / self.copy_rate)
+            timer.callbacks.append(
+                lambda _ev: self._finish_accept(done, offset, nbytes, kind, accepted_at)
+            )
+        else:
+            self.env.process(self._accept(done, offset, nbytes, kind))
         return done
 
     def queue_depth(self) -> int:
@@ -157,9 +169,16 @@ class PrestoCache(Storage):
     # -- internals ----------------------------------------------------------
 
     def _accept(self, done: Event, offset: int, nbytes: int, kind: str):
+        """Slow path: wait for the drain to free NVRAM space first."""
         accepted_at = self.env.now
         yield self._free.get(nbytes)
         yield self.env.timeout(self.copy_overhead + nbytes / self.copy_rate)
+        self._finish_accept(done, offset, nbytes, kind, accepted_at)
+
+    def _finish_accept(
+        self, done: Event, offset: int, nbytes: int, kind: str, accepted_at: float
+    ) -> None:
+        """Complete an accepted write once its NVRAM copy time has elapsed."""
         if self.obs.enabled:
             self.obs.emit(
                 PHASE_NVRAM_COPY,
@@ -179,7 +198,9 @@ class PrestoCache(Storage):
         surplus = nbytes - grown
         if surplus > 0:
             # Overwrote bytes that were already dirty: give the space back.
-            yield self._free.put(surplus)
+            # This always fits (the bytes came out of our own reservation),
+            # so the put completes synchronously.
+            self._free.put(surplus)
         self.stats.busy.add_busy(self.copy_overhead + nbytes / self.copy_rate)
         self.stats.record(nbytes, True, kind)
         self._wake_drain()

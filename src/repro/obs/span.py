@@ -82,7 +82,7 @@ RPC_PHASES = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class Trace:
     """Identity carried by one RPC through its whole lifecycle.
 
@@ -98,7 +98,7 @@ class Trace:
     attrs: Dict[str, Any] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One closed interval of simulated time in a request's lifecycle."""
 

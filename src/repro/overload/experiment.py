@@ -30,6 +30,7 @@ Everything is seeded; same-seed reruns produce byte-identical JSON.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -373,7 +374,7 @@ class OverloadReport:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
 
-def run_overload(config: Optional[OverloadConfig] = None, progress=None) -> OverloadReport:
+def _run_overload(config: Optional[OverloadConfig] = None, progress=None) -> OverloadReport:
     """Run the whole sweep; ``progress`` (if given) is called with a line
     of text after every completed run."""
     config = config or OverloadConfig()
@@ -416,6 +417,20 @@ def run_overload(config: Optional[OverloadConfig] = None, progress=None) -> Over
             combo["verdict"] = _verdict(combo, config)
             report.combos.append(combo)
     return report
+
+
+def run_overload(
+    config: Optional[OverloadConfig] = None, progress=None
+) -> OverloadReport:
+    """Deprecated entry point; use :func:`repro.experiments.run` with
+    ``ExperimentSpec(kind="overload", config=OverloadConfig(...))``."""
+    warnings.warn(
+        "run_overload() is deprecated; use repro.experiments.run("
+        "ExperimentSpec(kind='overload', config=OverloadConfig(...)))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_overload(config, progress=progress)
 
 
 def _verdict(combo: dict, config: OverloadConfig) -> Optional[dict]:

@@ -1,0 +1,132 @@
+"""Flyweight write payloads: length + pattern seed instead of real bytes.
+
+The simulator's costs — wire time, CPU charges, disk transactions, NVRAM
+occupancy — all key on payload *length*, never on payload *content*.  Full
+byte fidelity only matters to the experiments that check content
+invariants (the crash-consistency oracle's byte compares, fsck, the dup
+cache tests).  Throughput-oriented runs can therefore carry an
+:class:`Extent` — an ``(length, seed, base)`` triple — through the whole
+client → wire → server → UFS path and skip every per-byte copy:
+
+* the client cache block, the RPC args, and the NFS WRITE all size
+  themselves via ``len()``, which an Extent provides;
+* :meth:`Ufs.write` charges identical CPU and issues identical device
+  transactions but skips the buffer-cache byte copies;
+* the stable-storage check and the oracle relax from byte-for-byte
+  comparison to *reachability*: the acked range must still be durably
+  readable after a crash, it just carries no content promise.
+
+Both modes produce identical acked-write accounting (ranges, byte
+totals, violation conditions other than content mismatches) and identical
+simulated timings — an Extent is the same length as the bytes it stands
+for, so every charge lands at the same instant.
+
+``Extent.to_bytes()`` materializes the exact bytes
+:func:`repro.workload.sequential.patterned_chunk` would have produced for
+the same chunk index, so a flyweight payload can always be downgraded to
+full fidelity for debugging.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = [
+    "Extent",
+    "ExtentChain",
+    "PAYLOAD_FLYWEIGHT",
+    "PAYLOAD_FULL",
+    "coerce_payload_mode",
+    "is_bytes_payload",
+]
+
+#: Payload fidelity mode names (experiment-level knob).
+PAYLOAD_FULL = "full"
+PAYLOAD_FLYWEIGHT = "flyweight"
+
+_MODES = (PAYLOAD_FULL, PAYLOAD_FLYWEIGHT)
+
+
+def coerce_payload_mode(mode: str) -> str:
+    """Validate a payload-fidelity mode name."""
+    if mode not in _MODES:
+        raise ValueError(
+            f"unknown payload mode {mode!r}; expected one of {', '.join(_MODES)}"
+        )
+    return mode
+
+
+def is_bytes_payload(data) -> bool:
+    """True when ``data`` carries real bytes (full-fidelity payload)."""
+    return isinstance(data, (bytes, bytearray, memoryview))
+
+
+class Extent:
+    """A flyweight write payload: ``length`` bytes of deterministic pattern.
+
+    Byte ``k`` of the extent is ``(seed * 7 + (base + k) % 8) % 256`` —
+    with ``base == 0`` exactly the content of ``patterned_chunk(seed)``,
+    so full-fidelity and flyweight runs describe the same logical data.
+    """
+
+    __slots__ = ("length", "seed", "base")
+
+    def __init__(self, length: int, seed: int = 0, base: int = 0) -> None:
+        if length < 0:
+            raise ValueError(f"extent length must be >= 0, got {length}")
+        self.length = length
+        self.seed = seed
+        self.base = base
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return f"Extent(length={self.length}, seed={self.seed}, base={self.base})"
+
+    def slice(self, start: int, stop: int) -> "Extent":
+        """The sub-extent covering local offsets [start, stop)."""
+        if not 0 <= start <= stop <= self.length:
+            raise ValueError(
+                f"bad extent slice [{start}, {stop}) of length {self.length}"
+            )
+        return Extent(stop - start, self.seed, self.base + start)
+
+    def to_bytes(self) -> bytes:
+        """Materialize the exact bytes this extent stands for."""
+        seed7 = self.seed * 7
+        base = self.base
+        return bytes((seed7 + (base + k) % 8) % 256 for k in range(self.length))
+
+
+class ExtentChain:
+    """Accumulates extents the way a client cache block accumulates bytes.
+
+    The NFS client's pending block (`OpenFile.pending`) fills from
+    sequential application chunks; in flyweight mode those chunks are
+    Extents with differing seeds, so one wire payload may span several.
+    The chain only ever needs its total length (all simulator costs key on
+    it) plus :meth:`to_bytes` for fidelity downgrades.
+    """
+
+    __slots__ = ("parts", "length")
+
+    def __init__(self) -> None:
+        self.parts: List[Extent] = []
+        self.length = 0
+
+    def __len__(self) -> int:
+        return self.length
+
+    def append(self, extent: Extent) -> None:
+        self.parts.append(extent)
+        self.length += len(extent)
+
+    def payload(self):
+        """The wire form: a single Extent when possible, else the chain."""
+        if len(self.parts) == 1:
+            return self.parts[0]
+        return self
+
+    def to_bytes(self) -> bytes:
+        return b"".join(part.to_bytes() for part in self.parts)

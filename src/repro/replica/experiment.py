@@ -20,6 +20,7 @@ Everything is seeded; ``--json`` output is byte-identical across reruns.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -32,6 +33,7 @@ from repro.cluster.failover import FailoverController, ShardCrash
 from repro.cluster.fleet import Cluster, ClusterConfig
 from repro.cluster.oracle import ClusterOracle
 from repro.obs import registry_for
+from repro.payload import PAYLOAD_FULL
 from repro.sim import AllOf
 
 __all__ = ["ReplicaRunResult", "replica_storm", "run_replica", "run_replica_arm"]
@@ -114,6 +116,7 @@ def run_replica_arm(
     file_kb: int = 64,
     think_time: float = CLUSTER_THINK_TIME,
     crashes: Optional[Sequence[ShardCrash]] = None,
+    payload: str = PAYLOAD_FULL,
 ) -> ReplicaArm:
     """One arm: the sharded write workload at one replication factor."""
     if clients < 1:
@@ -143,6 +146,7 @@ def run_replica_arm(
                     _client_files(host, files_per_client),
                     nbytes,
                     think_time,
+                    payload,
                 ),
                 name=f"workload:{host}",
             )
@@ -277,7 +281,7 @@ class ReplicaRunResult:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
 
-def run_replica(
+def _run_replica(
     base: ClusterConfig,
     replica_counts: Sequence[int] = (0, 1, 2),
     clients: int = 6,
@@ -286,6 +290,7 @@ def run_replica(
     think_time: float = CLUSTER_THINK_TIME,
     storm_crashes: int = 3,
     progress=None,
+    payload: str = PAYLOAD_FULL,
 ) -> ReplicaRunResult:
     """Sweep the replication factor under the crash-and-promote storm.
 
@@ -306,6 +311,7 @@ def run_replica(
             file_kb=file_kb,
             think_time=think_time,
             crashes=crashes,
+            payload=payload,
         )
         arms.append(arm)
         if progress is not None:
@@ -321,3 +327,15 @@ def run_replica(
         storm_crashes=storm_crashes,
         arms=arms,
     )
+
+
+def run_replica(*args, **kwargs) -> ReplicaRunResult:
+    """Deprecated entry point; use :func:`repro.experiments.run` with
+    ``ExperimentSpec(kind="replica", ...)``."""
+    warnings.warn(
+        "run_replica() is deprecated; use repro.experiments.run("
+        "ExperimentSpec(kind='replica', ...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_replica(*args, **kwargs)

@@ -23,7 +23,7 @@ from repro.rpc.messages import (
     RpcCall,
     RpcReply,
 )
-from repro.sim import AnyOf, Environment, Event
+from repro.sim import Environment, Event
 
 __all__ = ["RpcClient", "RpcTimeoutPolicy", "RpcTimeoutError"]
 
@@ -206,9 +206,18 @@ class RpcClient:
                 interval = self.policy.interval_for(
                     weight, call.attempt, self.endpoint.host, xid
                 )
-                timeout = self.env.timeout(interval)
-                outcome = yield AnyOf(self.env, [reply_event, timeout])
-                if reply_event in outcome:
+                # Wait for reply-or-timer with two plain callbacks instead
+                # of an AnyOf condition: same wakeup order, no per-attempt
+                # condition object, tuple, or result-dict churn.
+                wait = Event(self.env)
+
+                def _first(_event: Event, w: Event = wait) -> None:
+                    if not w.triggered:
+                        w.succeed(_event is reply_event)
+
+                self.env.timeout(interval).callbacks.append(_first)
+                reply_event.callbacks.append(_first)
+                if (yield wait):
                     break
                 self.timeouts.add(1)
                 self.policy.on_timeout(weight)

@@ -22,7 +22,7 @@ CLASS_MEDIUM = "medium"
 CLASS_HEAVY = "heavy"
 
 
-@dataclass
+@dataclass(slots=True)
 class RpcCall:
     """An RPC request as seen on the wire and in the socket buffer."""
 
@@ -52,7 +52,7 @@ class RpcCall:
         return self.attempt > 1
 
 
-@dataclass
+@dataclass(slots=True)
 class RpcReply:
     """An RPC reply."""
 

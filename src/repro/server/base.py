@@ -126,7 +126,13 @@ class NfsServer:
         #: active, committed writes and namespace mutations must reach a
         #: quorum of backups before their replies are released.
         self.replicator = None
-        self.ops_completed: Dict[str, Counter] = {}
+        #: Per-procedure completion counters, pre-resolved at construction
+        #: so the reply hot path never does a name-keyed registry lookup.
+        from repro.nfs.protocol import WEIGHT_OF
+
+        self.ops_completed: Dict[str, Counter] = {
+            proc: self.metrics.counter(f"{host}.ops.{proc}") for proc in WEIGHT_OF
+        }
         self.op_latency = self.metrics.tally(f"{host}.op_latency")
         self.write_latency = self.metrics.tally(f"{host}.write_latency")
         self.stable_violations: list = []
@@ -221,12 +227,13 @@ class NfsServer:
         self.op_latency.observe(latency)
         if proc == PROC_WRITE:
             self.write_latency.observe(latency)
-        counter = self.ops_completed.get(proc)
-        if counter is None:
+        try:
+            self.ops_completed[proc].value += 1.0
+        except KeyError:
             counter = self.ops_completed[proc] = self.metrics.counter(
                 f"{self.host}.ops.{proc}"
             )
-        counter.add(1)
+            counter.add(1)
         self.svc.send_reply(handle, status, result, size)
 
     def check_stable(
@@ -242,8 +249,16 @@ class NfsServer:
         reachability check: used when a *later* write in the same gathered
         batch legitimately superseded these bytes before the shared flush
         (NFS last-writer-wins) — the range must still be durably readable.
+        Flyweight payloads (:mod:`repro.payload`) carry no content promise,
+        so they always take the reachability check.
         """
         if not self.config.verify_stable or data is None:
+            return
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            if not self.ufs.durable_covered(vnode.ino, offset, len(data)):
+                self.stable_violations.append(
+                    (self.env.now, vnode.ino, offset, len(data))
+                )
             return
         durable = self.ufs.durable_read(vnode.ino, offset, len(data))
         if durable is None or (require_content and durable != data):

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.sim import Environment, Resource, UtilizationMeter
+from repro.sim.resources import Request
 
 __all__ = ["Cpu"]
 
@@ -30,11 +31,27 @@ class Cpu:
         """Hold one core for ``seconds`` of work."""
         if seconds <= 0:
             return
-        with self._resource.request() as grant:
+        resource = self._resource
+        meter = self.meter
+        if not resource.queue and len(resource.users) < resource.capacity:
+            # Uncontended: claim the slot directly.  The Request still
+            # allocates its event id (so scheduling order matches the
+            # general path exactly) but skips the grant-event round trip.
+            claim = Request(resource)
+            claim._granted = True
+            resource.users.append(claim)
+            meter.begin()
+            try:
+                yield self.env.timeout(seconds)
+                meter.end()
+            finally:
+                resource.release(claim)
+            return
+        with resource.request() as grant:
             yield grant
-            self.meter.begin()
+            meter.begin()
             yield self.env.timeout(seconds)
-            self.meter.end()
+            meter.end()
 
     def utilization(self) -> float:
         """Busy fraction in [0, 1]; for multi-core, mean busy cores / cores."""

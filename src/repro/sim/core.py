@@ -29,6 +29,19 @@ Design notes
 * Failures propagate: if a process yields an event that fails, the exception
   is thrown into the generator at the yield point.  An unhandled failure with
   no waiter stops the simulation (errors never pass silently).
+
+Hot-path layout
+---------------
+The kernel is the simulator's inner loop (one bench cell pops tens of
+thousands of events), so the representation is tuned:
+
+* every event class carries ``__slots__`` — no per-event ``__dict__``;
+* heap entries are ``(time, seq, event)`` 3-tuples where ``seq`` folds the
+  scheduling priority into the high bits of the insertion counter, so
+  same-instant ordering needs one integer compare instead of two;
+* resources and stores may hand back *synchronously processed* events
+  (``callbacks is None`` before ever touching the queue) for uncontended
+  grants; :meth:`Process._resume` consumes those without a scheduler round.
 """
 
 from __future__ import annotations
@@ -55,6 +68,12 @@ PRIORITY_URGENT = 0
 #: Default scheduling priority for user events.
 PRIORITY_NORMAL = 1
 
+#: Priorities are folded into the high bits of the heap sequence number:
+#: ``seq = (priority << _PRIORITY_SHIFT) + insertion_id``.  52 bits of
+#: insertion ids is far beyond any run length we will ever see.
+_PRIORITY_SHIFT = 52
+_NORMAL_BIAS = PRIORITY_NORMAL << _PRIORITY_SHIFT
+
 _PENDING = object()
 
 
@@ -64,7 +83,14 @@ class Event:
     An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
     triggers it, which schedules it on the environment queue.  Once the
     environment pops it and runs its callbacks it is *processed*.
+
+    Resources and stores can also hand out events that are *processed at
+    birth* (granted synchronously, never queued): those have
+    ``callbacks is None`` and a value already in place, and a yielding
+    process continues immediately.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -109,11 +135,13 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, PRIORITY_NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        heapq.heappush(env._queue, (env._now, _NORMAL_BIAS + env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -121,27 +149,46 @@ class Event:
 
         Waiting processes will see the exception raised at their ``yield``.
         """
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise SimError(f"fail() requires an exception, got {exception!r}")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, PRIORITY_NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        heapq.heappush(env._queue, (env._now, _NORMAL_BIAS + env._eid, self))
+        return self
+
+    def _finish_now(self, value: Any = None) -> "Event":
+        """Mark succeeded *and processed* without ever touching the queue.
+
+        Used by resources/stores for uncontended synchronous grants.  A
+        process yielding such an event resumes inline (no scheduler round);
+        nothing may append callbacks to it afterwards.
+        """
+        self._ok = True
+        self._value = value
+        self.callbacks = None
         return self
 
 
 class Timeout(Event):
     """An event that fires automatically after ``delay`` units of time."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
-        self._delay = delay
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env._schedule(self, PRIORITY_NORMAL, delay)
+        self.defused = False
+        self._delay = delay
+        env._eid += 1
+        heapq.heappush(env._queue, (env._now + delay, _NORMAL_BIAS + env._eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self._delay} at {id(self):#x}>"
@@ -150,12 +197,16 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
+        self.env = env
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
-        env._schedule(self, PRIORITY_URGENT, 0.0)
+        self.defused = False
+        self.callbacks = [process._resume]
+        env._eid += 1
+        heapq.heappush(env._queue, (env._now, env._eid, self))
 
 
 class Process(Event):
@@ -164,6 +215,8 @@ class Process(Event):
     The process event succeeds with the generator's return value, or fails
     with any exception the generator does not handle.
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
         if not hasattr(generator, "throw"):
@@ -218,41 +271,48 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         self._target = None
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     event.defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
                 self._ok = True
                 self._value = exc.value
-                self.env._schedule(self, PRIORITY_NORMAL, 0.0)
+                env._eid += 1
+                heapq.heappush(env._queue, (env._now, _NORMAL_BIAS + env._eid, self))
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.env._schedule(self, PRIORITY_NORMAL, 0.0)
+                env._eid += 1
+                heapq.heappush(env._queue, (env._now, _NORMAL_BIAS + env._eid, self))
                 break
 
-            if not isinstance(next_event, Event):
-                event = Event(self.env)
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
+                event = Event(env)
                 event._ok = False
                 event._value = SimError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
                 continue
-            if next_event.processed:
-                # Already done: feed its value straight back in.
+            if callbacks is None:
+                # Already processed (or a synchronous grant): feed its value
+                # straight back in without a scheduler round.
                 event = next_event
                 continue
-            next_event.callbacks.append(self._resume)
+            callbacks.append(self._resume)
             self._target = next_event
             break
-        self.env._active_process = None
+        env._active_process = None
 
 
 class Condition(Event):
@@ -262,6 +322,8 @@ class Condition(Event):
     once ``evaluate(events, done_count)`` returns True.  Fails immediately if
     any constituent event fails.
     """
+
+    __slots__ = ("_evaluate", "_events", "_done")
 
     def __init__(
         self,
@@ -280,7 +342,7 @@ class Condition(Event):
             self.succeed({})
             return
         for event in self._events:
-            if event.processed:
+            if event.callbacks is None:
                 self._check(event)
             else:
                 event.callbacks.append(self._check)
@@ -305,6 +367,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition satisfied when *all* constituent events have fired."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         events = tuple(events)
         super().__init__(env, lambda evs, done: done == len(evs), events)
@@ -312,6 +376,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Condition satisfied when *any* constituent event has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         events = tuple(events)
@@ -329,7 +395,9 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        #: Heap of ``(time, seq, event)``; ``seq`` has the priority folded
+        #: into its high bits (see ``_PRIORITY_SHIFT``).
+        self._queue: List[Tuple[float, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
 
@@ -377,17 +445,19 @@ class Environment:
         if delay < 0:
             raise SimError(f"cannot schedule into the past (delay={delay})")
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, (priority << _PRIORITY_SHIFT) + self._eid, event),
+        )
 
     def step(self) -> None:
         """Process the single next event.  Raises SimError on an empty queue."""
         if not self._queue:
             raise SimError("step() on an empty event queue")
-        when, _priority, _eid, event = heapq.heappop(self._queue)
-        if when < self._now:
-            raise SimError("event queue corrupted: time went backwards")
+        when, _seq, event = heapq.heappop(self._queue)
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
         if not event._ok and not event.defused:
@@ -420,9 +490,20 @@ class Environment:
             stop_event.callbacks.append(self._stop_on)
             self._schedule(stop_event, PRIORITY_URGENT, at - self._now)
 
+        # Inlined step() loop: this is the simulator's innermost loop, so
+        # avoid the per-event method call and re-resolution of globals.
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
-                self.step()
+            while queue:
+                when, _seq, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event.defused:
+                    raise event._value
         except StopSimulation as stop:
             return stop.value
         if stop_event is not None and not stop_event.processed:

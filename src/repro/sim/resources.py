@@ -34,6 +34,8 @@ class Request(Event):
             ... hold the resource ...
     """
 
+    __slots__ = ("resource", "priority", "_granted")
+
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -74,10 +76,20 @@ class Resource:
         return len(self.users)
 
     def request(self, priority: int = 0) -> Request:
-        """Claim a slot.  The returned event fires when the slot is granted."""
+        """Claim a slot.  The returned event fires when the slot is granted.
+
+        An uncontended request (nobody queued, free capacity) is granted
+        *synchronously*: the returned event is already processed and a
+        yielding process resumes inline without a scheduler round.
+        """
         request = Request(self, priority)
-        self._enqueue(request)
-        self._grant()
+        if self._idle() and len(self.users) < self.capacity:
+            request._granted = True
+            self.users.append(request)
+            request._finish_now(request)
+        else:
+            self._enqueue(request)
+            self._grant()
         return request
 
     def release(self, request: Request) -> None:
@@ -90,6 +102,10 @@ class Resource:
             self._withdraw(request)
 
     # -- overridable queueing discipline -----------------------------------
+
+    def _idle(self) -> bool:
+        """True when no request is waiting (cheap fast-path check)."""
+        return not self.queue
 
     def _enqueue(self, request: Request) -> None:
         self.queue.append(request)
@@ -118,6 +134,9 @@ class PriorityResource(Resource):
         super().__init__(env, capacity)
         self._heap: List[tuple] = []
         self._seq = 0
+
+    def _idle(self) -> bool:
+        return not self._heap
 
     def _enqueue(self, request: Request) -> None:
         self._seq += 1
@@ -165,11 +184,15 @@ class Store:
         return len(self.items) >= self.capacity
 
     def put(self, item: Any) -> Event:
-        """Add ``item``; the returned event fires once it has been accepted."""
+        """Add ``item``; the returned event fires once it has been accepted.
+
+        When the store has room the returned event is already processed
+        (synchronous accept) — a yielding process continues inline.
+        """
         event = Event(self.env)
         if len(self.items) < self.capacity:
             self.items.append(item)
-            event.succeed()
+            event._finish_now()
             self._dispatch()
         else:
             self._putters.append((event, item))
@@ -184,7 +207,17 @@ class Store:
         return True
 
     def get(self) -> Event:
-        """Remove the oldest item; the returned event fires with the item."""
+        """Remove the oldest item; the returned event fires with the item.
+
+        When an item is immediately available (and no earlier getter is
+        queued) the returned event is already processed — a yielding
+        process continues inline without a scheduler round.
+        """
+        if self.items and not self._getters:
+            event = Event(self.env)
+            event._finish_now(self.items.popleft())
+            self._admit_putters()
+            return event
         event = Event(self.env)
         self._getters.append(event)
         self._dispatch()
@@ -248,19 +281,37 @@ class Container:
         return self._level
 
     def put(self, amount: float) -> Event:
-        """Add ``amount``; fires once it fits under ``capacity``."""
+        """Add ``amount``; fires once it fits under ``capacity``.
+
+        When it fits immediately (and no earlier putter is queued) the
+        returned event is already processed — synchronous accept.
+        """
         if amount <= 0:
             raise SimError(f"put amount must be positive, got {amount}")
         event = Event(self.env)
+        if not self._putters and self._level + amount <= self.capacity:
+            self._level += amount
+            event._finish_now()
+            self._dispatch()
+            return event
         self._putters.append((event, amount))
         self._dispatch()
         return event
 
     def get(self, amount: float) -> Event:
-        """Remove ``amount``; fires once that much is available."""
+        """Remove ``amount``; fires once that much is available.
+
+        When the level suffices immediately (and no earlier getter is
+        queued) the returned event is already processed — synchronous grant.
+        """
         if amount <= 0:
             raise SimError(f"get amount must be positive, got {amount}")
         event = Event(self.env)
+        if not self._getters and self._level >= amount:
+            self._level -= amount
+            event._finish_now()
+            self._dispatch()
+            return event
         self._getters.append((event, amount))
         self._dispatch()
         return event

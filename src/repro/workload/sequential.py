@@ -11,9 +11,10 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.nfs.client import NfsClient
+from repro.payload import PAYLOAD_FULL, Extent, coerce_payload_mode
 from repro.sim import Environment
 
-__all__ = ["write_file", "patterned_chunk"]
+__all__ = ["write_file", "patterned_chunk", "patterned_extent"]
 
 
 def patterned_chunk(index: int, size: int = 8192) -> bytes:
@@ -25,6 +26,14 @@ def patterned_chunk(index: int, size: int = 8192) -> bytes:
     return (pattern * repeats)[:size]
 
 
+def patterned_extent(index: int, size: int = 8192) -> Extent:
+    """The flyweight twin of :func:`patterned_chunk`: same logical bytes
+    (``extent.to_bytes() == patterned_chunk(index, size)``), no byte work."""
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    return Extent(size, seed=index)
+
+
 def write_file(
     env: Environment,
     client: NfsClient,
@@ -33,15 +42,25 @@ def write_file(
     chunk_size: int = 8192,
     think_time: float = 0.0005,
     remove_first: bool = False,
+    payload: str = PAYLOAD_FULL,
 ) -> Generator:
     """Create and sequentially write ``name`` (nbytes), then close.
 
     ``think_time`` models the application producing each chunk of data (a
-    fast workstation process; raise it for a slow client).  Returns the
-    elapsed time from create to close-complete.
+    fast workstation process; raise it for a slow client).  ``payload``
+    selects byte fidelity: ``"full"`` (default) writes real patterned
+    bytes; ``"flyweight"`` writes :class:`~repro.payload.Extent` stand-ins
+    of identical length — same simulated timings and acked accounting,
+    none of the per-byte copies.  Returns the elapsed time from create to
+    close-complete.
     """
     if nbytes <= 0:
         raise ValueError(f"nbytes must be positive, got {nbytes}")
+    chunk_of = (
+        patterned_chunk
+        if coerce_payload_mode(payload) == PAYLOAD_FULL
+        else patterned_extent
+    )
     started = env.now
     if remove_first:
         try:
@@ -55,7 +74,7 @@ def write_file(
         take = min(chunk_size, nbytes - written)
         if think_time > 0:
             yield env.timeout(think_time)
-        yield from client.write_stream(open_file, patterned_chunk(index, take))
+        yield from client.write_stream(open_file, chunk_of(index, take))
         written += take
         index += 1
     yield from client.close(open_file)

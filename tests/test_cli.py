@@ -56,32 +56,17 @@ class TestWritePathFlags:
         assert "/gather" in captured.out
         assert "deprecated" not in captured.err
 
-    def test_legacy_gather_flag_still_works_and_warns(self, capsys):
-        with pytest.warns(DeprecationWarning, match="--gather is deprecated"):
-            assert main(["copy", "--gather", "--file-mb", "0.5"]) == 0
-        captured = capsys.readouterr()
-        assert "/gather" in captured.out
-        assert "deprecated" in captured.err
+    def test_removed_gather_flag_errors_with_pointer(self, capsys):
+        assert main(["copy", "--gather", "--file-mb", "0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "--gather was removed" in err
+        assert "--write-path gather" in err
 
-    def test_legacy_siva_flag_still_works_and_warns(self, capsys):
-        with pytest.warns(DeprecationWarning, match="--siva is deprecated"):
-            assert main(["copy", "--siva", "--file-mb", "0.5"]) == 0
-        assert "/siva" in capsys.readouterr().out
-
-    def test_conflicting_legacy_and_new_flags_rejected(self, capsys):
-        with pytest.warns(DeprecationWarning):
-            assert (
-                main(["copy", "--gather", "--write-path", "siva", "--file-mb", "0.5"])
-                == 2
-            )
-        assert "conflicting" in capsys.readouterr().err
-
-    def test_agreeing_legacy_and_new_flags_accepted(self, capsys):
-        with pytest.warns(DeprecationWarning):
-            assert (
-                main(["copy", "--gather", "--write-path", "gather", "--file-mb", "0.5"])
-                == 0
-            )
+    def test_removed_siva_flag_errors_with_pointer(self, capsys):
+        assert main(["copy", "--siva", "--file-mb", "0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "--siva was removed" in err
+        assert "--write-path siva" in err
 
     def test_enum_round_trip(self):
         assert WritePath.coerce("gather") is WritePath.GATHER
@@ -160,7 +145,18 @@ class TestCommands:
 
     def test_copy_gather_shows_batch_stats(self, capsys):
         assert (
-            main(["copy", "--gather", "--biods", "7", "--file-mb", "0.5"]) == 0
+            main(
+                [
+                    "copy",
+                    "--write-path",
+                    "gather",
+                    "--biods",
+                    "7",
+                    "--file-mb",
+                    "0.5",
+                ]
+            )
+            == 0
         )
         out = capsys.readouterr().out
         assert "mean gathered batch size" in out
@@ -170,7 +166,8 @@ class TestCommands:
             main(
                 [
                     "copy",
-                    "--gather",
+                    "--write-path",
+                    "gather",
                     "--interval-ms",
                     "2",
                     "--file-mb",
@@ -181,8 +178,9 @@ class TestCommands:
         )
         assert "gather" in capsys.readouterr().out
 
-    def test_copy_rejects_gather_plus_siva(self, capsys):
+    def test_copy_rejects_removed_aliases(self, capsys):
         assert main(["copy", "--gather", "--siva"]) == 2
+        assert "--write-path" in capsys.readouterr().err
 
     def test_copy_presto_stripes(self, capsys):
         assert (
@@ -256,18 +254,17 @@ class TestClusterCommand:
         assert len(payload["per_shard"]) == 2
         assert sum(payload["placement"].values()) == 2 * payload["files_per_client"]
 
-    def test_deprecated_gather_alias_warns(self, capsys):
-        with pytest.warns(DeprecationWarning, match="--gather is deprecated"):
-            assert main(["cluster", "--clients", "1", "--gather"]) == 0
-        captured = capsys.readouterr()
-        assert "deprecated" in captured.err
-        assert "gather path" in captured.out
+    def test_removed_gather_alias_errors(self, capsys):
+        assert main(["cluster", "--clients", "1", "--gather"]) == 2
+        assert "--write-path gather" in capsys.readouterr().err
 
-    def test_deprecated_siva_alias_warns(self, capsys):
-        with pytest.warns(DeprecationWarning, match="--siva is deprecated"):
-            assert (
-                main(["cluster", "--clients", "1", "--siva", "--json"]) == 0
+    def test_write_path_option_selects_siva(self, capsys):
+        assert (
+            main(
+                ["cluster", "--clients", "1", "--write-path", "siva", "--json"]
             )
+            == 0
+        )
         payload = json.loads(capsys.readouterr().out)
         assert payload["write_path"] == str(WritePath.SIVA)
 
@@ -328,6 +325,8 @@ class TestBenchCommand:
             assert {"p50", "p99", "mean"} <= set(cell["write_latency_ms"])
             assert cell["client_kb_per_sec"] > 0
             assert cell["disk_writes_per_mb"] > 0
+            assert cell["sim_ops"] > 0
+            assert cell["sim_ops_per_sec"] > 0
 
     def test_out_file_written_and_deterministic(self, tmp_path, capsys):
         first = tmp_path / "BENCH_a.json"
@@ -335,6 +334,16 @@ class TestBenchCommand:
         assert main(["bench", "--file-mb", "0.25", "--out", str(first)]) == 0
         assert main(["bench", "--file-mb", "0.25", "--out", str(second)]) == 0
         capsys.readouterr()
-        assert first.read_bytes() == second.read_bytes()
+
+        def stable(path):
+            # sim_ops_per_sec is wall-clock-derived — the one field allowed
+            # to differ between same-seed reruns.
+            payload = json.loads(path.read_text())
+            for cell in payload["cells"]:
+                cell.pop("sim_ops_per_sec", None)
+            return payload
+
+        assert stable(first) == stable(second)
         payload = json.loads(first.read_text())
         assert payload["file_mb"] == 0.25
+        assert payload["payload"] == "flyweight"

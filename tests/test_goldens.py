@@ -1,0 +1,90 @@
+"""Golden-output determinism: seeded CLI runs are byte-stable.
+
+The fixtures under ``tests/goldens/`` pin the ``--json`` output of one
+seeded invocation per experiment family.  ``chaos_seed.json``,
+``overload_seed.json``, and ``replica_seed.json`` were captured *before*
+the flyweight-payload hot-path work landed, so matching them proves the
+optimization changed no simulated number.  ``bench_seed.json`` carries
+the newer schema (``sim_ops``/``sim_ops_per_sec``/``payload``); its one
+wall-clock-derived field is stripped before comparison.
+
+Any timing-affecting change to the simulator kernel, the network stack,
+or the server paths shows up here as a byte diff.  If the change is an
+*intentional* model change, regenerate the fixture with the invocation in
+``_CASES`` and say so in the commit; if it is meant to be an optimization,
+the diff is a bug.
+"""
+
+import io
+import json
+import pathlib
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+_CASES = {
+    "bench": ["bench", "--file-mb", "1", "--json"],
+    "chaos": ["chaos", "--plans", "2", "--file-kb", "64", "--json"],
+    "overload": [
+        "overload",
+        "--write-paths",
+        "standard",
+        "--presto",
+        "off",
+        "--loads",
+        "15.6",
+        "46.9",
+        "--clients",
+        "4",
+        "--duration",
+        "1",
+        "--json",
+    ],
+    "replica": [
+        "replica",
+        "--servers",
+        "2",
+        "--clients",
+        "3",
+        "--replicas",
+        "0",
+        "1",
+        "--files",
+        "1",
+        "--file-kb",
+        "32",
+        "--crashes",
+        "2",
+        "--json",
+    ],
+}
+
+
+def _capture(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        status = main(argv)
+    assert status == 0
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("name", ["chaos", "overload", "replica"])
+def test_seeded_json_matches_golden_byte_for_byte(name):
+    golden = (GOLDEN_DIR / f"{name}_seed.json").read_text()
+    assert _capture(_CASES[name]) == golden
+
+
+def test_bench_matches_golden_modulo_wall_clock():
+    golden = json.loads((GOLDEN_DIR / "bench_seed.json").read_text())
+    got = json.loads(_capture(_CASES["bench"]))
+
+    def stable(report):
+        for cell in report["cells"]:
+            cell.pop("sim_ops_per_sec", None)
+        return report
+
+    assert stable(got) == stable(golden)

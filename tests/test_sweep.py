@@ -51,7 +51,19 @@ class TestSweepApi:
 class TestSweepCli:
     def test_cli_sweep(self, capsys):
         assert (
-            main(["sweep", "nbiods", "0", "3", "--gather", "--file-mb", "0.5"]) == 0
+            main(
+                [
+                    "sweep",
+                    "nbiods",
+                    "0",
+                    "3",
+                    "--write-path",
+                    "gather",
+                    "--file-mb",
+                    "0.5",
+                ]
+            )
+            == 0
         )
         out = capsys.readouterr().out
         assert "nbiods" in out

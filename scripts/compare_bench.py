@@ -4,9 +4,9 @@
 Usage::
 
     python scripts/compare_bench.py BASELINE.json FRESH.json \\
-        [--max-ratio 2.0] [--min-ops-ratio 0.5]
+        [--max-ratio 2.0] [--min-ops-ratio 0.5] [--max-rpc-ratio 1.5]
 
-Two gates, one per direction the baseline can rot:
+Three gates, one per direction the baseline can rot:
 
 * **Simulated quality** — per (write_path, presto) cell, fail (exit 1)
   if the fresh p99 write latency exceeds ``max_ratio`` times the
@@ -19,6 +19,11 @@ Two gates, one per direction the baseline can rot:
   an accidental per-byte copy or a chatty inner loop halves it long
   before anyone notices interactively.  Baselines predating the field
   are skipped with a note (the gate arms itself on the next refresh).
+* **RPC chattiness** — fail if the fresh ``rpcs_per_op`` (completed RPC
+  calls per user-level operation, repro.lease) exceeds ``max_rpc_ratio``
+  times the baseline's: a client that quietly starts double-calling per
+  syscall erases exactly what the cache layer bought.  Baselines
+  predating the field are skipped with a note.
 
 Cells present in only one file fail too: a silently dropped cell would
 hide exactly the regression being guarded.
@@ -52,6 +57,13 @@ def main(argv=None) -> int:
         help="fail if fresh sim_ops_per_sec < min-ops-ratio x baseline "
         "(default: 0.5; skipped when the baseline lacks the field)",
     )
+    parser.add_argument(
+        "--max-rpc-ratio",
+        type=float,
+        default=1.5,
+        help="fail if fresh rpcs_per_op > max-rpc-ratio x baseline "
+        "(default: 1.5; skipped when the baseline lacks the field)",
+    )
     args = parser.parse_args(argv)
     with open(args.baseline) as handle:
         baseline = cells_by_key(json.load(handle))
@@ -80,6 +92,24 @@ def main(argv=None) -> int:
                 f"{label}: p99 write latency regressed x{ratio:.3f} "
                 f"(limit x{args.max_ratio})"
             )
+        base_rpc = baseline[key].get("rpcs_per_op")
+        fresh_rpc = fresh[key].get("rpcs_per_op")
+        if base_rpc is None:
+            print(f"  {label:<18} rpc/op gate skipped (baseline lacks rpcs_per_op)")
+        elif fresh_rpc is None:
+            failures.append(f"{label}: fresh run lacks rpcs_per_op")
+        else:
+            rpc_ratio = fresh_rpc / base_rpc if base_rpc else float("inf")
+            marker = "FAIL" if rpc_ratio > args.max_rpc_ratio else "ok"
+            print(
+                f"  {label:<18} rpc/op {base_rpc:>8.4f} -> {fresh_rpc:>8.4f} "
+                f"(x{rpc_ratio:.3f}) {marker}"
+            )
+            if rpc_ratio > args.max_rpc_ratio:
+                failures.append(
+                    f"{label}: rpcs_per_op regressed x{rpc_ratio:.3f} "
+                    f"(limit x{args.max_rpc_ratio})"
+                )
         base_ops = baseline[key].get("sim_ops_per_sec")
         fresh_ops = fresh[key].get("sim_ops_per_sec")
         if not base_ops:
@@ -105,8 +135,8 @@ def main(argv=None) -> int:
             print(f"  {failure}", file=sys.stderr)
         return 1
     print(
-        "bench within budget: no p99 write-latency regression, "
-        "simulator throughput above floor"
+        "bench within budget: no p99 write-latency regression, no RPC "
+        "chattiness regression, simulator throughput above floor"
     )
     return 0
 

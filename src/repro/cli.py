@@ -19,6 +19,7 @@ Installed as the ``repro`` console script (also usable as
     repro overload --json         # goodput-vs-load sweep past saturation
     repro overload --no-adapt     # the collapse curve alone
     repro replica --json          # K=0/1/2 replication cost + promote storm
+    repro cache --json            # lease-cache TTL x sharing sweep + chaos probes
 
 Every handler goes through :func:`repro.experiments.run` with an
 :class:`~repro.experiments.ExperimentSpec`; the CLI only parses arguments
@@ -425,6 +426,55 @@ def build_parser() -> argparse.ArgumentParser:
         "flyweight extents (durability-only; default: full)",
     )
     replica.add_argument("--json", action="store_true", help="emit the result as JSON")
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="lease-cache RPC-reduction sweep + staleness chaos probes (repro.lease)",
+        description=(
+            "Measure what client-side caching under server-granted "
+            "leases buys: RPCs per user operation on a shared-read/"
+            "private-write workload, swept over lease TTL x sharing "
+            "ratio with leases on vs off, plus compact before/after "
+            "profiles of the copy, LADDIS, cluster, and overload "
+            "workloads.  Then probe the staleness contract under chaos "
+            "(server crash mid-recall, a severed callback path, a "
+            "holder partitioned past its TTL) with an omniscient "
+            "oracle watching every served cache hit.  Exits 1 on any "
+            "staleness violation or if the headline cell misses its "
+            "required reduction."
+        ),
+    )
+    cache.add_argument("--seed", type=int, default=0, help="sweep seed (default: 0)")
+    cache.add_argument(
+        "--ttls",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="SEC",
+        help="lease TTL axis in seconds (default: 1 5 30; must include "
+        "the headline TTL)",
+    )
+    cache.add_argument(
+        "--sharing",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="RATIO",
+        help="shared-read fractions in [0,1] (default: 0.25 0.5 0.9; "
+        "must include the headline ratio)",
+    )
+    cache.add_argument(
+        "--clients", type=int, default=4, help="fleet size (default: 4)"
+    )
+    cache.add_argument(
+        "--ops", type=int, default=30, help="operations per client (default: 30)"
+    )
+    cache.add_argument(
+        "--no-chaos",
+        action="store_true",
+        help="skip the chaos probes (sweep and workload profiles only)",
+    )
+    cache.add_argument("--json", action="store_true", help="emit the full report as JSON")
     return parser
 
 
@@ -906,6 +956,59 @@ def _cmd_replica(args) -> int:
     return 0 if result.clean else 1
 
 
+def _cmd_cache(args) -> int:
+    from repro.lease.experiment import CacheConfig
+
+    kwargs = {}
+    if args.ttls is not None:
+        kwargs["lease_ttls"] = tuple(args.ttls)
+    if args.sharing is not None:
+        kwargs["sharing_ratios"] = tuple(args.sharing)
+    try:
+        config = CacheConfig(
+            seed=args.seed,
+            clients=args.clients,
+            ops_per_client=args.ops,
+            chaos=not args.no_chaos,
+            **kwargs,
+        )
+    except ValueError as exc:
+        print(f"cache: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(line: str) -> None:
+        if not args.json:
+            print(f"  {line}")
+
+    if not args.json:
+        ttls = ", ".join(f"{t:g}" for t in config.lease_ttls)
+        ratios = ", ".join(f"{s:g}" for s in config.sharing_ratios)
+        print(
+            f"cache sweep: seed={config.seed}, {config.clients} clients, "
+            f"TTLs [{ttls}] s x sharing [{ratios}]"
+        )
+    report = run(ExperimentSpec(kind="cache", config=config, progress=progress))
+    if args.json:
+        print(report.to_json())
+    else:
+        cell = report.headline
+        if cell is not None:
+            verdict = "meets" if report.meets_target else "MISSES"
+            print(
+                f"  headline (ttl={config.headline_ttl:g}s, "
+                f"sharing={config.headline_sharing:g}): "
+                f"x{cell['reduction']:g} reduction — {verdict} the "
+                f"x{config.min_reduction:g} target"
+            )
+        if report.clean:
+            print("  staleness contract held: zero violations")
+        else:
+            print(f"  {len(report.violations)} VIOLATIONS:")
+            for violation in report.violations:
+                print(f"    {violation}")
+    return 0 if report.clean and report.meets_target else 1
+
+
 def _cmd_bench(args) -> int:
     from repro.experiments.bench import bench_to_json, write_bench
 
@@ -959,6 +1062,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cluster": _cmd_cluster,
         "replica": _cmd_replica,
         "bench": _cmd_bench,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -198,6 +198,12 @@ class FailoverController:
             segment.partition(server.replicator.endpoint_host)
         group.promote(promoted)
         self.cluster.router.repoint(group.logical_host, promoted.host)
+        if promoted.leases is not None:
+            # The dead primary's grants are invisible to the promoted
+            # table: open a one-TTL grace window so they drain by expiry
+            # before any mutation here can conflict with them.  Clients
+            # re-register via LEASE_RENEW when their calls reroute.
+            promoted.leases.reset_volatile()
         # The new primary replays its retained log to the surviving peers:
         # the idempotent seq guard skips what they already have, and
         # lagging peers (whose session queues died with the old primary)

@@ -81,6 +81,10 @@ class ClusterConfig:
     replicas: int = 0
     #: Backups that must ack stable storage before a reply is released.
     quorum: int = 1
+    #: Lease TTL in seconds (repro.lease): every shard (primaries *and*
+    #: backups, so a promoted backup can keep granting) runs a
+    #: LeaseManager and every client gets a CacheStack.  None = off.
+    lease_ttl: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.write_path = WritePath.coerce(self.write_path)
@@ -190,6 +194,7 @@ class Cluster:
             verify_stable=config.verify_stable,
             cpu_scale=config.cpu_scale,
             ino_base=(index + 1) * INO_STRIDE,
+            lease_ttl=config.lease_ttl,
         )
         server = NfsServer(
             self.env,
@@ -251,6 +256,7 @@ class Cluster:
                 verify_stable=config.verify_stable,
                 cpu_scale=config.cpu_scale,
                 ino_base=(index + 1) * INO_STRIDE,
+                lease_ttl=config.lease_ttl,
             )
             backup = NfsServer(
                 self.env,
@@ -310,6 +316,13 @@ class Cluster:
             nbiods=self.config.nbiods if nbiods is None else nbiods,
             write_cpu=self.config.client_write_cpu,
         )
+        if self.config.lease_ttl is not None:
+            # Mandatory with leases: CacheStack registers the CB_RECALL
+            # handler on every rack transport (set_on_call) and the
+            # reroute hook that re-registers leases after a promotion.
+            from repro.nfs.cache import CacheStack
+
+            CacheStack(self.env, client)
         self.clients.append(client)
         return client
 

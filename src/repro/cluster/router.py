@@ -170,6 +170,11 @@ class ClusterRpc:
         #: into either a redirect (the map moved the shard's arcs) or a
         #: terminal RpcTimeoutError.  None = hard-mount: retry forever.
         self.failover_attempts = failover_attempts
+        #: Reroute hook (repro.lease): called as ``(logical, physical)``
+        #: the moment a stranded call discovers an alias repoint, so the
+        #: cache stack can void and re-register leases the new primary's
+        #: (empty) table no longer remembers.
+        self.on_reroute = None
 
     @property
     def endpoint(self):
@@ -178,6 +183,12 @@ class ClusterRpc:
 
     def transport_for(self, server: str) -> RpcClient:
         return self._rpcs[self._rack_of_server.get(server, 0)]
+
+    def set_on_call(self, handler) -> None:
+        """Install a server-initiated-call handler (lease recalls) on every
+        rack transport — a callback may arrive on any rack's endpoint."""
+        for rpc in self._rpcs:
+            rpc.on_call = handler
 
     def call(
         self,
@@ -217,6 +228,8 @@ class ClusterRpc:
                 relogical = server or self.router.route(proc, args)
                 rerouted = self.router.resolve(relogical)
                 if rerouted != destination:
+                    if self.on_reroute is not None:
+                        self.on_reroute(relogical, rerouted)
                     logical, destination = relogical, rerouted
                     continue
                 raise

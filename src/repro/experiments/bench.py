@@ -87,6 +87,7 @@ def run_bench_cell(
             "p99": round(latency.percentile(0.99) * 1000.0, 4),
         },
         "disk_writes_per_mb": round(disk_writes / file_mb, 2),
+        "rpcs_per_op": round(client.rpcs_per_op.value, 4),
         "disk_kb_per_sec": round(total_bytes / elapsed / 1024.0, 2),
         "disk_trans_per_sec": round(total_transactions / elapsed, 2),
         # NFS operations the server completed per *wall-clock* second:

@@ -70,5 +70,8 @@ def run_filecopy(
         learned_skips=(
             gather_stats.skipped_procrastinations.value if gather_stats else None
         ),
+        rpcs_per_op=(
+            round(client.rpcs_per_op.value, 4) if client.user_ops.value else None
+        ),
         phases=phases,
     )

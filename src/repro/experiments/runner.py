@@ -28,6 +28,7 @@ cluster  the sharded fleet (single cell or scaling sweep)     ClusterRunResult /
                                                               ScalingSweepResult
 overload the goodput-vs-load sweep past saturation            OverloadReport
 replica  the K-replication cost + promote-storm sweep         ReplicaRunResult
+cache    the lease-cache TTL × sharing sweep + chaos probes   CacheReport
 ======== ==================================================== =====================
 
 The old per-subsystem entry points (``run_cluster``, ``run_scaling_sweep``,
@@ -61,6 +62,7 @@ EXPERIMENT_KINDS = (
     "cluster",
     "overload",
     "replica",
+    "cache",
 )
 
 #: Per-kind workload-size defaults for :attr:`ExperimentSpec.file_kb`.
@@ -98,6 +100,9 @@ class ExperimentSpec:
     * ``replica``  — ``config`` (required, a ClusterConfig),
       ``replica_counts``, ``clients``, ``files_per_client``, ``file_kb``,
       ``storm_crashes``, ``payload``, ``progress``
+    * ``cache``    — ``config`` (a
+      :class:`~repro.lease.experiment.CacheConfig`; defaults to
+      ``CacheConfig(seed=spec.seed)``), ``progress``
     """
 
     kind: str
@@ -247,6 +252,11 @@ def run(spec: ExperimentSpec):
 
         config = spec.config if spec.config is not None else OverloadConfig(seed=spec.seed)
         return _run_overload(config, progress=spec.progress)
+    if spec.kind == "cache":
+        from repro.lease.experiment import CacheConfig, _run_cache
+
+        config = spec.config if spec.config is not None else CacheConfig(seed=spec.seed)
+        return _run_cache(config, progress=spec.progress)
     if spec.kind == "replica":
         from repro.replica.experiment import _run_replica
 

@@ -80,6 +80,10 @@ class TestbedConfig:
     #: Shed policy when the admission cap is hit: "drop-newest",
     #: "drop-oldest", or "early-reply".
     shed_policy: str = "drop-newest"
+    #: Lease TTL in seconds (repro.lease): enables the server lease layer
+    #: and gives every added client a :class:`~repro.nfs.cache.CacheStack`.
+    #: None = no leases, no client caching — the pre-lease behaviour.
+    lease_ttl: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.write_path = WritePath.coerce(self.write_path)
@@ -133,6 +137,7 @@ class Testbed:
             cpu_scale=config.cpu_scale,
             admission_max_requests=config.admission_max_requests,
             shed_policy=config.shed_policy,
+            lease_ttl=config.lease_ttl,
             **server_kwargs,
         )
         self.server = NfsServer(self.env, self.segment, self.storage, config=server_config)
@@ -164,6 +169,14 @@ class Testbed:
             write_cpu=self.config.client_write_cpu,
             write_window=write_window,
         )
+        if self.server.leases is not None:
+            # A leased server recalls conflicting holders and waits up to
+            # one TTL for each; a client with no callback handler would
+            # stall every conflicting writer that long.  So attaching the
+            # cache stack (which registers rpc.on_call) is not optional.
+            from repro.nfs.cache import CacheStack
+
+            CacheStack(self.env, client)
         self.clients.append(client)
         return client
 

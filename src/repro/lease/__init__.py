@@ -1,0 +1,29 @@
+"""repro.lease — server-granted leases with callback invalidation.
+
+The cache-consistency layer (Gray & Cheriton leases, the NQNFS lineage):
+the server hands out short-lived read/write leases piggybacked on ordinary
+NFS replies, tracks every holder, and — before executing a conflicting
+mutation — issues ``CB_RECALL`` callbacks over a dedicated reverse-direction
+endpoint so holders flush dirty data and drop cached copies first.  Lease
+expiry bounds every recall wait, so a partitioned holder can only stall a
+writer for one TTL.
+
+* :mod:`repro.lease.manager` — the server side: grant/recall/grace.
+* :mod:`repro.lease.oracle` — the omniscient staleness contract checker.
+* :mod:`repro.lease.experiment` — the ``repro cache`` TTL × sharing sweep.
+
+The client side (AttrCache/DirCache/write-back DataCache) lives in
+:mod:`repro.nfs.cache`, next to the client it serves.
+"""
+
+from repro.lease.manager import LEASE_READ, LEASE_WRITE, Lease, LeaseGrant, LeaseManager
+from repro.lease.oracle import StalenessOracle
+
+__all__ = [
+    "LEASE_READ",
+    "LEASE_WRITE",
+    "Lease",
+    "LeaseGrant",
+    "LeaseManager",
+    "StalenessOracle",
+]

@@ -32,6 +32,10 @@ class FileCopyMetrics:
     handoffs_mbuf: Optional[int] = None
     watchdog_sweeps: Optional[int] = None
     learned_skips: Optional[int] = None
+    #: RPCs per user-level operation (repro.lease): completed RPC calls
+    #: divided by syscall-level client operations.  The headline number
+    #: lease caching moves; None when the run did not measure it.
+    rpcs_per_op: Optional[float] = None
     #: Per-phase latency percentiles from the span stream, keyed by phase
     #: name -> {count, mean, p50, p95, p99, max} in seconds.  Only present
     #: when the run was traced (``TestbedConfig.tracing``).
@@ -66,6 +70,7 @@ class FileCopyMetrics:
             "handoffs_mbuf": self.handoffs_mbuf,
             "watchdog_sweeps": self.watchdog_sweeps,
             "learned_skips": self.learned_skips,
+            "rpcs_per_op": self.rpcs_per_op,
         }
         for name, value in optionals.items():
             if value is not None:

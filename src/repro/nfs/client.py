@@ -127,6 +127,19 @@ class NfsClient:
         self.biod_handoffs = metrics.counter(f"{prefix}.biod_handoffs")
         self.blocked_writes = metrics.counter(f"{prefix}.blocked_writes")
         self.readahead_hits = metrics.counter(f"{prefix}.readahead_hits")
+        #: User-level operations (the syscall view: open/read/write/close...),
+        #: the denominator of rpcs_per_op.  The numerator is the transport's
+        #: completed-call counter — for a cluster client every rack transport
+        #: shares the same host name and therefore the same counter.
+        self.user_ops = metrics.counter(f"{prefix}.user_ops")
+        self.rpcs_per_op = metrics.ratio(
+            f"{prefix}.rpcs_per_op",
+            metrics.counter(f"rpc.{rpc.endpoint.host}.completed"),
+            self.user_ops,
+        )
+        #: Optional :class:`~repro.nfs.cache.CacheStack` (repro.lease);
+        #: installed by its constructor, None = uncached pre-lease client.
+        self.cache = None
         self.root_fhandle: FileHandle = (2, 0)
         #: Crash-consistency hook (repro.faults.Oracle): called as
         #: ``(fhandle, offset, data)`` the instant a *stable* WRITE's ok
@@ -147,6 +160,10 @@ class NfsClient:
         except RpcTimeoutError:
             # Soft mount: an exhausted retry budget surfaces as ETIMEDOUT.
             raise NfsError("ETIMEDOUT") from None
+        if self.cache is not None and reply.lease:
+            # Grants ride even on error replies (an ENOENT lookup still
+            # grants the dir lease), so learn them before raising.
+            self.cache.learn_grants(reply.lease)
         if not reply.ok:
             raise NfsError(reply.status)
         return reply.result
@@ -162,6 +179,7 @@ class NfsClient:
         """
         from repro.nfs.protocol import PROC_MOUNT
 
+        self.user_ops.add(1)
         fhandle, _fattr = yield from self._call(PROC_MOUNT, path)
         self.root_fhandle = fhandle
         return fhandle
@@ -169,51 +187,111 @@ class NfsClient:
     def umount(self, path: str = "/export") -> Generator:
         from repro.nfs.protocol import PROC_UMOUNT
 
+        self.user_ops.add(1)
         return (yield from self._call(PROC_UMOUNT, path))
 
     def lookup(self, name: str, dir_fhandle: Optional[FileHandle] = None) -> Generator:
-        """LOOKUP: returns (fhandle, fattr)."""
-        args = LookupArgs(dir_fhandle or self.root_fhandle, name)
-        return (yield from self._call(PROC_LOOKUP, args))
+        """LOOKUP: returns (fhandle, fattr).
+
+        With a cache stack, positive *and* negative dirent entries are
+        served locally while the directory's lease is valid.
+        """
+        self.user_ops.add(1)
+        dir_fh = dir_fhandle or self.root_fhandle
+        if self.cache is not None:
+            from repro.nfs.cache import NEGATIVE
+
+            hit = self.cache.dirent_hit(dir_fh, name)
+            if hit is NEGATIVE:
+                raise NfsError("ENOENT")
+            if hit is not None:
+                return hit
+        args = LookupArgs(dir_fh, name)
+        try:
+            result = yield from self._call(PROC_LOOKUP, args)
+        except NfsError as exc:
+            if self.cache is not None and exc.code == "ENOENT":
+                self.cache.store_negative(dir_fh, name)
+            raise
+        if self.cache is not None:
+            self.cache.store_dirent(dir_fh, name, result)
+        return result
 
     def create(self, name: str, dir_fhandle: Optional[FileHandle] = None) -> Generator:
         """CREATE: returns an :class:`OpenFile` for the new file."""
-        args = CreateArgs(dir_fhandle or self.root_fhandle, name)
-        fhandle, _fattr = yield from self._call(PROC_CREATE, args)
+        self.user_ops.add(1)
+        dir_fh = dir_fhandle or self.root_fhandle
+        args = CreateArgs(dir_fh, name)
+        result = yield from self._call(PROC_CREATE, args)
+        if self.cache is not None:
+            self.cache.note_local_create(dir_fh, name, result)
+        fhandle, _fattr = result
         return OpenFile(fhandle, name)
 
     def open(self, name: str, dir_fhandle: Optional[FileHandle] = None) -> Generator:
-        """LOOKUP and wrap in an :class:`OpenFile`."""
+        """LOOKUP and wrap in an :class:`OpenFile`.
+
+        Close-to-open consistency: unless the file's lease still covers our
+        cached attributes, open revalidates them with a GETATTR.
+        """
         fhandle, fattr = yield from self.lookup(name, dir_fhandle)
+        if self.cache is not None and not self.cache.lease_valid(fhandle):
+            fattr = yield from self._call(PROC_GETATTR, fhandle)
+            self.cache.store_attr(fhandle, fattr)
         open_file = OpenFile(fhandle, name)
         open_file.known_size = fattr.size  # bounds read-ahead
         return open_file
 
     def remove(self, name: str, dir_fhandle: Optional[FileHandle] = None) -> Generator:
-        args = RemoveArgs(dir_fhandle or self.root_fhandle, name)
-        return (yield from self._call(PROC_REMOVE, args))
+        self.user_ops.add(1)
+        dir_fh = dir_fhandle or self.root_fhandle
+        args = RemoveArgs(dir_fh, name)
+        result = yield from self._call(PROC_REMOVE, args)
+        if self.cache is not None:
+            self.cache.note_local_remove(dir_fh, name)
+        return result
 
     def getattr(self, fhandle: FileHandle) -> Generator:
-        return (yield from self._call(PROC_GETATTR, fhandle))
+        self.user_ops.add(1)
+        if self.cache is not None:
+            fattr = self.cache.attr_hit(fhandle)
+            if fattr is not None:
+                return fattr
+        fattr = yield from self._call(PROC_GETATTR, fhandle)
+        if self.cache is not None:
+            self.cache.store_attr(fhandle, fattr)
+        return fattr
 
     def setattr(self, fhandle: FileHandle, **changes) -> Generator:
-        return (yield from self._call(PROC_SETATTR, SetattrArgs(fhandle, **changes)))
+        self.user_ops.add(1)
+        fattr = yield from self._call(PROC_SETATTR, SetattrArgs(fhandle, **changes))
+        if self.cache is not None:
+            self.cache.store_attr(fhandle, fattr)
+        return fattr
 
     def readdir(self, dir_fhandle: Optional[FileHandle] = None) -> Generator:
+        self.user_ops.add(1)
         return (yield from self._call(PROC_READDIR, dir_fhandle or self.root_fhandle))
 
     def statfs(self) -> Generator:
+        self.user_ops.add(1)
         return (yield from self._call(PROC_STATFS, self.root_fhandle))
 
     def symlink(
         self, name: str, target: str, dir_fhandle: Optional[FileHandle] = None
     ) -> Generator:
         """SYMLINK: returns the new link's (fhandle, fattr)."""
-        args = SymlinkArgs(dir_fhandle or self.root_fhandle, name, target)
-        return (yield from self._call(PROC_SYMLINK, args))
+        self.user_ops.add(1)
+        dir_fh = dir_fhandle or self.root_fhandle
+        args = SymlinkArgs(dir_fh, name, target)
+        result = yield from self._call(PROC_SYMLINK, args)
+        if self.cache is not None:
+            self.cache.note_local_create(dir_fh, name, result)
+        return result
 
     def readlink(self, fhandle: FileHandle) -> Generator:
         """READLINK: returns the link target string."""
+        self.user_ops.add(1)
         return (yield from self._call(PROC_READLINK, fhandle))
 
     def rename(
@@ -223,13 +301,14 @@ class NfsClient:
         src_dir: Optional[FileHandle] = None,
         dst_dir: Optional[FileHandle] = None,
     ) -> Generator:
-        args = RenameArgs(
-            src_dir or self.root_fhandle,
-            src_name,
-            dst_dir or self.root_fhandle,
-            dst_name,
-        )
-        return (yield from self._call(PROC_RENAME, args))
+        self.user_ops.add(1)
+        src = src_dir or self.root_fhandle
+        dst = dst_dir or self.root_fhandle
+        args = RenameArgs(src, src_name, dst, dst_name)
+        result = yield from self._call(PROC_RENAME, args)
+        if self.cache is not None:
+            self.cache.note_local_rename(src, src_name, dst, dst_name)
+        return result
 
     def read(self, open_file: OpenFile, offset: int, count: int) -> Generator:
         """READ, returning ``(fattr, data)``.
@@ -238,6 +317,15 @@ class NfsClient:
         prefetch of the following range to a free biod, so the next read is
         served from the client cache while the wire stays busy (§4.1).
         """
+        self.user_ops.add(1)
+        if self.cache is not None:
+            fattr = self.cache.attr_hit(open_file.fhandle)
+            if fattr is not None:
+                data = self.cache.read_hit(open_file.fhandle, offset, count)
+                if data is not None:
+                    open_file.known_size = fattr.size
+                    open_file.read_cursor = offset + count
+                    return fattr, data
         sequential = offset == open_file.read_cursor
         open_file.read_cursor = offset + count
         if self.read_ahead and sequential:
@@ -253,8 +341,11 @@ class NfsClient:
         else:
             args = ReadArgs(open_file.fhandle, offset, count)
             fattr_and_data = yield from self._call(PROC_READ, args)
-        fattr, _data = fattr_and_data
+        fattr, data = fattr_and_data
         open_file.known_size = fattr.size
+        if self.cache is not None:
+            self.cache.store_attr(open_file.fhandle, fattr)
+            self.cache.store_block(open_file.fhandle, offset, data)
         return fattr_and_data
 
     def _maybe_prefetch(self, open_file: OpenFile, offset: int, count: int) -> None:
@@ -293,6 +384,7 @@ class NfsClient:
         :class:`~repro.payload.Extent`; the two may not be mixed within
         one partially filled cache block.
         """
+        self.user_ops.add(1)
         if not is_bytes_payload(data):
             yield from self._write_stream_flyweight(open_file, data)
             return
@@ -338,6 +430,7 @@ class NfsClient:
     def write_at(self, open_file: OpenFile, offset: int, data: bytes) -> Generator:
         """Random-access write: goes to the wire immediately (no coalescing),
         in at-most-8K pieces."""
+        self.user_ops.add(1)
         if not is_bytes_payload(data):
             pos = 0
             total = len(data)
@@ -364,8 +457,13 @@ class NfsClient:
         if the server's write verifier changed (it crashed and rebooted,
         losing cached data), resends everything and commits again.
         """
+        self.user_ops.add(1)
         if open_file.pending:
             yield from self._push_block(open_file)
+        if self.cache is not None:
+            # Write-back: dirty blocks deferred under a write lease go to
+            # the wire now, through the ordinary write-behind train.
+            yield from self.cache.flush_file(open_file)
         if open_file.outstanding:
             yield AllOf(self.env, list(open_file.outstanding))
             open_file.outstanding.clear()
@@ -406,6 +504,8 @@ class NfsClient:
             data = bytes(pending)
         offset = open_file.pending_offset
         open_file.pending = bytearray()
+        if self.cache is not None and self.cache.defer_write(open_file, offset, data):
+            return  # absorbed by the write-back cache (no RPC, no time)
         yield from self._write_behind(open_file, offset, data)
 
     def _write_behind(self, open_file: OpenFile, offset: int, data: bytes) -> Generator:
@@ -466,8 +566,12 @@ class NfsClient:
         if stable:
             if self.on_write_acked is not None:
                 self.on_write_acked(open_file.fhandle, offset, data)
+            if self.cache is not None:
+                self.cache.store_attr(open_file.fhandle, reply.result)
             return reply.result  # Fattr
         fattr, verifier = reply.result
+        if self.cache is not None:
+            self.cache.store_attr(open_file.fhandle, fattr)
         if record:
             open_file.uncommitted.append((offset, data))
         if open_file.verifier is None:

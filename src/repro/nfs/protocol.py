@@ -32,8 +32,12 @@ __all__ = [
     "PROC_READDIR",
     "PROC_STATFS",
     "PROC_REPLICATE",
+    "PROC_CB_RECALL",
+    "PROC_LEASE_RENEW",
     "WEIGHT_OF",
     "Fattr",
+    "RecallArgs",
+    "RenewArgs",
     "WriteArgs",
     "CommitArgs",
     "SymlinkArgs",
@@ -73,6 +77,13 @@ PROC_UMOUNT = "umount"
 #: only after the batch is on its own stable storage.  Never sent by NFS
 #: clients; it shares the RPC transport and dup-cache machinery.
 PROC_REPLICATE = "replicate"
+#: Lease-layer procedures (repro.lease, Gray & Cheriton style).  CB_RECALL
+#: travels the *reverse* direction — server to client — over a dedicated
+#: ``{host}.cb`` endpoint: the holder must flush dirty data and drop its
+#: cached copies before acking.  LEASE_RENEW lets a client refresh or
+#: re-register held leases (e.g. against a promoted backup after failover).
+PROC_CB_RECALL = "cb_recall"
+PROC_LEASE_RENEW = "lease_renew"
 
 #: Client backoff class per procedure (§4.1).
 WEIGHT_OF = {
@@ -92,6 +103,8 @@ WEIGHT_OF = {
     PROC_MOUNT: CLASS_LIGHT,
     PROC_UMOUNT: CLASS_LIGHT,
     PROC_REPLICATE: CLASS_HEAVY,
+    PROC_CB_RECALL: CLASS_LIGHT,
+    PROC_LEASE_RENEW: CLASS_LIGHT,
 }
 
 
@@ -182,6 +195,30 @@ class SetattrArgs:
     fhandle: FileHandle
     size: Optional[int] = None
     mtime: Optional[float] = None
+
+
+@dataclass
+class RecallArgs:
+    """Server -> client: give up the lease on ``fhandle``.
+
+    The holder flushes any dirty cached data for the file (ordinary WRITE
+    RPCs), drops its cached attributes/blocks/dirents, and acks.  Handling
+    must be idempotent — the callback retransmits like any RPC.
+    """
+
+    fhandle: FileHandle
+
+
+@dataclass
+class RenewArgs:
+    """Client -> server: refresh/re-register held leases.
+
+    ``wants`` is a tuple of ``(fhandle, mode)`` pairs; the server re-grants
+    whatever is currently conflict-free and the reply's grant list tells the
+    client which survived.
+    """
+
+    wants: tuple
 
 
 def call_size(proc: str, args) -> int:

@@ -22,11 +22,11 @@ from typing import Dict, List, Union
 
 from repro.sim.core import Environment
 from repro.sim.errors import SimError
-from repro.sim.monitor import Counter, Tally, TimeWeighted, UtilizationMeter
+from repro.sim.monitor import Counter, Ratio, Tally, TimeWeighted, UtilizationMeter
 
 __all__ = ["MetricsRegistry", "registry_for"]
 
-Instrument = Union[Tally, Counter, TimeWeighted, UtilizationMeter]
+Instrument = Union[Tally, Counter, Ratio, TimeWeighted, UtilizationMeter]
 
 
 class MetricsRegistry:
@@ -65,6 +65,12 @@ class MetricsRegistry:
         """A busy-fraction meter."""
         return self._register(
             name, UtilizationMeter, lambda: UtilizationMeter(self.env, name)
+        )
+
+    def ratio(self, name: str, numerator: Counter, denominator: Counter) -> Ratio:
+        """A derived quotient of two counters (e.g. RPCs per user op)."""
+        return self._register(
+            name, Ratio, lambda: Ratio(name, numerator, denominator)
         )
 
     def time_weighted(self, name: str, initial: float = 0.0) -> TimeWeighted:
@@ -113,6 +119,13 @@ class MetricsRegistry:
                     "kind": "counter",
                     "value": instrument.value,
                     "rate": instrument.rate(),
+                }
+            elif isinstance(instrument, Ratio):
+                out[name] = {
+                    "kind": "ratio",
+                    "value": instrument.value,
+                    "numerator": instrument.numerator.value,
+                    "denominator": instrument.denominator.value,
                 }
             elif isinstance(instrument, UtilizationMeter):
                 out[name] = {

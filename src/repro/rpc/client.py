@@ -142,6 +142,12 @@ class RpcClient:
         #: timeout (``on_timeout(weight)``) and every completion
         #: (``on_success(weight, attempts)``).
         self.congestion = None
+        #: Optional server-initiated-call handler (repro.lease callbacks):
+        #: a generator function invoked as ``on_call(call)`` for every
+        #: inbound :class:`RpcCall`; its return value is sent back as the
+        #: reply result.  None (the default) drops such calls as stray
+        #: traffic, the pre-lease behaviour.
+        self.on_call = None
         self._pending: Dict[int, Event] = {}
         self.obs = collector_for(env)
         metrics = registry_for(env)
@@ -253,6 +259,13 @@ class RpcClient:
             datagram = yield self.endpoint.recv()
             reply = datagram.payload
             if not isinstance(reply, RpcReply):
+                if isinstance(reply, RpcCall) and self.on_call is not None:
+                    # A server-initiated call (lease recall): serve it in
+                    # its own process so the receiver loop keeps draining.
+                    self.env.process(
+                        self._serve_callback(reply),
+                        name=f"rpc-cb:{self.endpoint.host}",
+                    )
                 continue  # stray traffic
             waiter = self._pending.get(reply.xid)
             if waiter is None or waiter.triggered:
@@ -261,3 +274,17 @@ class RpcClient:
                 self.duplicate_replies.add(1)
                 continue
             waiter.succeed(reply)
+
+    def _serve_callback(self, call: RpcCall):
+        """Run the on_call handler and send its result back as the reply.
+
+        The handler must be idempotent: a retransmitted callback spawns a
+        second handler run (there is no client-side dup cache), and the
+        caller's RPC layer dedupes the extra reply by xid.
+        """
+        result = yield from self.on_call(call)
+        self.endpoint.send(
+            call.client,
+            RpcReply(xid=call.xid, status="ok", result=result),
+            call.reply_size,
+        )

@@ -60,6 +60,10 @@ class RpcReply:
     status: str  # "ok" or an error code such as "ESTALE"
     result: Any
     size: int = RPC_HEADER_BYTES
+    #: Piggybacked lease grants (repro.lease): a tuple of LeaseGrant
+    #: records, or None when the server runs without leases.  Kept out of
+    #: ``result`` so existing reply-shape consumers are untouched.
+    lease: Any = None
 
     @property
     def ok(self) -> bool:

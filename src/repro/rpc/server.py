@@ -148,13 +148,22 @@ class SvcServer:
                 )
             return handle
 
-    def send_reply(self, handle: TransportHandle, status: str, result: Any, size: int = 160) -> None:
+    def send_reply(
+        self,
+        handle: TransportHandle,
+        status: str,
+        result: Any,
+        size: int = 160,
+        lease: Any = None,
+    ) -> None:
         """Send the response for ``handle`` and return it to the free cache."""
         if handle.call is None:
             raise ValueError("send_reply on an empty transport handle")
         if handle.replied:
             raise ValueError(f"duplicate reply for xid {handle.call.xid}")
-        reply = RpcReply(xid=handle.call.xid, status=status, result=result, size=size)
+        reply = RpcReply(
+            xid=handle.call.xid, status=status, result=result, size=size, lease=lease
+        )
         self.dup_cache.record_done(handle.call, reply)
         self._transmit(handle.call, reply)
         handle.replied = True

@@ -21,6 +21,7 @@ from repro.nfs.protocol import (
     PROC_COMMIT,
     PROC_CREATE,
     PROC_GETATTR,
+    PROC_LEASE_RENEW,
     PROC_LOOKUP,
     PROC_MOUNT,
     PROC_READ,
@@ -126,6 +127,13 @@ class NfsServer:
         #: active, committed writes and namespace mutations must reach a
         #: quorum of backups before their replies are released.
         self.replicator = None
+        #: Lease layer (repro.lease): grants ride on replies, conflicting
+        #: holders are recalled before mutations.  None = leases off.
+        self.leases = None
+        if self.config.lease_ttl is not None:
+            from repro.lease.manager import LeaseManager
+
+            self.leases = LeaseManager(env, segment, host, self.config.lease_ttl)
         #: Per-procedure completion counters, pre-resolved at construction
         #: so the reply hot path never does a name-keyed registry lookup.
         from repro.nfs.protocol import WEIGHT_OF
@@ -210,6 +218,7 @@ class NfsServer:
         status: str,
         result,
         size: int = RPC_HEADER_BYTES,
+        lease=None,
     ) -> Generator:
         """Charge reply CPU, record latency, and send the response."""
         if handle.acquired_at <= self.last_crash_time:
@@ -234,7 +243,7 @@ class NfsServer:
                 f"{self.host}.ops.{proc}"
             )
             counter.add(1)
-        self.svc.send_reply(handle, status, result, size)
+        self.svc.send_reply(handle, status, result, size, lease=lease)
 
     def check_stable(
         self,
@@ -287,6 +296,18 @@ class NfsServer:
 
     def _dispatch(self, nfsd_id: int, handle: TransportHandle) -> Generator:
         proc = handle.call.proc
+        leases = self.leases
+        if leases is not None:
+            # Quiesce conflicting leases (recall + wait, bounded by TTL)
+            # before the operation touches anything.  No-op, consuming no
+            # simulated time, when nothing conflicts.
+            yield from leases.before(proc, handle.call.args, handle.call.client)
+            if proc == PROC_LEASE_RENEW:
+                result, size = yield from leases.renew(
+                    handle.call.args, handle.call.client
+                )
+                yield from self.reply(handle, "ok", result, size)
+                return REPLY_DONE
         if proc == PROC_WRITE:
             if not getattr(handle.call.args, "stable", True):
                 return (yield from self._rfs_write_unstable(handle))
@@ -298,7 +319,14 @@ class NfsServer:
         try:
             result, size = yield from action(handle.call.args)
         except FsError as exc:
-            yield from self.reply(handle, exc.code, None)
+            lease = None
+            if leases is not None and proc == PROC_LOOKUP and exc.code == "ENOENT":
+                # A miss still grants the dir lease: the client may cache
+                # the negative entry until a create/remove invalidates it.
+                lease = leases.grants_for_negative_lookup(
+                    handle.call.args, handle.call.client
+                )
+            yield from self.reply(handle, exc.code, None, lease=lease)
             return REPLY_DONE
         if (
             self.replicator is not None
@@ -311,7 +339,10 @@ class NfsServer:
             trace = self.trace_of(handle)
             yield from self.replicator.replicate_namespace(handle, proc, result, size)
             self.emit_span(trace, PHASE_REPLICATE, replicate_started, proc=proc)
-        yield from self.reply(handle, "ok", result, size)
+        lease = None
+        if leases is not None:
+            lease = leases.grants_for(proc, handle.call.args, result, handle.call.client)
+        yield from self.reply(handle, "ok", result, size, lease=lease)
         return REPLY_DONE
 
     # -- non-write action routines ------------------------------------------------
@@ -436,6 +467,10 @@ class NfsServer:
         # dropped by the incarnation guard above).
         if self.replicator is not None:
             self.replicator.halt()
+        # The lease table is RAM too; clearing it opens a one-TTL grace
+        # period so pre-crash leases drain by expiry before any mutation.
+        if self.leases is not None:
+            self.leases.reset_volatile()
         # The buffer cache and in-core inodes revert to the durable image.
         self.ufs.reset_volatile()
 

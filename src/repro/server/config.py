@@ -111,10 +111,16 @@ class ServerConfig:
     #: What the admission queue does with an arrival past the cap:
     #: "drop-newest", "drop-oldest", or "early-reply" (dup-cache-aware).
     shed_policy: str = "drop-newest"
+    #: Lease TTL in seconds (repro.lease): the server grants read/write
+    #: leases piggybacked on replies and recalls them before conflicting
+    #: mutations.  None = no lease layer, the pre-lease behaviour.
+    lease_ttl: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.nfsds < 1:
             raise ValueError(f"need at least one nfsd, got {self.nfsds}")
+        if self.lease_ttl is not None and self.lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be > 0, got {self.lease_ttl}")
         if self.admission_max_requests is not None and self.admission_max_requests < 1:
             raise ValueError(
                 f"admission_max_requests must be >= 1, got {self.admission_max_requests}"

@@ -12,7 +12,7 @@ from repro.sim.core import (
     Timeout,
 )
 from repro.sim.errors import Interrupt, SimError, StopSimulation
-from repro.sim.monitor import Counter, Tally, TimeWeighted, UtilizationMeter
+from repro.sim.monitor import Counter, Ratio, Tally, TimeWeighted, UtilizationMeter
 from repro.sim.resources import Container, PriorityResource, Request, Resource, Store
 
 __all__ = [
@@ -35,6 +35,7 @@ __all__ = [
     "Container",
     "Tally",
     "Counter",
+    "Ratio",
     "TimeWeighted",
     "UtilizationMeter",
 ]

@@ -13,7 +13,7 @@ from typing import List, Optional
 from repro.sim.core import Environment
 from repro.sim.errors import SimError
 
-__all__ = ["Tally", "Counter", "TimeWeighted", "UtilizationMeter"]
+__all__ = ["Tally", "Counter", "Ratio", "TimeWeighted", "UtilizationMeter"]
 
 
 class Tally:
@@ -95,6 +95,29 @@ class Counter:
         end = self.env.now if until is None else until
         elapsed = end - self._start
         return self.value / elapsed if elapsed > 0 else 0.0
+
+
+class Ratio:
+    """A derived quotient over two counters, read at snapshot time.
+
+    The canonical use is *RPCs per user-level operation*: numerator is the
+    transport's completed-call counter, denominator the client's syscall
+    counter.  Nothing is recorded here — the value is always computed from
+    the two live counters, so a Ratio can be registered before, during, or
+    after the counters move.
+    """
+
+    def __init__(self, name: str, numerator: Counter, denominator: Counter) -> None:
+        self.name = name
+        self.numerator = numerator
+        self.denominator = denominator
+
+    @property
+    def value(self) -> float:
+        """numerator / denominator, or 0.0 while the denominator is zero."""
+        if not self.denominator.value:
+            return 0.0
+        return self.numerator.value / self.denominator.value
 
 
 class TimeWeighted:

@@ -475,6 +475,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the chaos probes (sweep and workload profiles only)",
     )
     cache.add_argument("--json", action="store_true", help="emit the full report as JSON")
+
+    commit_cmd = subparsers.add_parser(
+        "commit",
+        help="async WRITE+COMMIT three-way comparison + verifier probes (repro.commit)",
+        description=(
+            "Compare the async_commit write path (unstable WRITEs acked "
+            "from volatile memory, boot verifiers, explicit COMMIT) "
+            "against the standard and gather paths on the seeded bench "
+            "copy, open both memory-pressure valves against a shrunken "
+            "volatile ceiling, run the K=1 crash-and-promote storm on "
+            "both paths, and probe the verifier lifecycle under chaos "
+            "(crash mid-unstable-window, crash between WRITE and COMMIT, "
+            "promotion mid-COMMIT).  Exits 1 on any oracle violation or "
+            "if async_commit fails to beat the standard path on p50 "
+            "write latency and throughput."
+        ),
+    )
+    commit_cmd.add_argument("--seed", type=int, default=0)
+    commit_cmd.add_argument(
+        "--file-mb",
+        type=float,
+        default=1.0,
+        help="bench copy size in MB (default: 1.0)",
+    )
+    commit_cmd.add_argument(
+        "--biods", type=int, default=7, help="client write-behind depth (default: 7)"
+    )
+    commit_cmd.add_argument(
+        "--no-chaos",
+        action="store_true",
+        help="skip the verifier-lifecycle chaos probes",
+    )
+    commit_cmd.add_argument(
+        "--out", help="also write the canonical JSON report to this file"
+    )
+    commit_cmd.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
     return parser
 
 
@@ -1009,6 +1047,56 @@ def _cmd_cache(args) -> int:
     return 0 if report.clean and report.meets_target else 1
 
 
+def _cmd_commit(args) -> int:
+    from repro.commit.experiment import CommitConfig
+
+    try:
+        config = CommitConfig(
+            seed=args.seed,
+            file_mb=args.file_mb,
+            biods=args.biods,
+            chaos=not args.no_chaos,
+        )
+    except ValueError as exc:
+        print(f"commit: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(line: str) -> None:
+        if not args.json:
+            print(f"  {line}")
+
+    if not args.json:
+        print(
+            f"commit: {config.file_mb} MB copy x "
+            f"{'/'.join(config.write_paths)}, seed {config.seed}"
+        )
+    report = run(ExperimentSpec(kind="commit", config=config, progress=progress))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        if not args.json:
+            print(f"wrote {args.out}")
+    if args.json:
+        print(report.to_json())
+    else:
+        comparison = report.comparison
+        if comparison is not None:
+            verdict = "beats" if report.async_beats_standard else "DOES NOT BEAT"
+            print(
+                f"  async_commit {verdict} standard: "
+                f"p50 x{comparison['p50_vs_standard']}, "
+                f"throughput x{comparison['throughput_vs_standard']}"
+            )
+        if report.clean:
+            print("  commit contract held: zero violations")
+        else:
+            print(f"  {len(report.violations)} VIOLATIONS:")
+            for violation in report.violations:
+                print(f"    {violation}")
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args) -> int:
     from repro.experiments.bench import bench_to_json, write_bench
 
@@ -1063,6 +1151,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "replica": _cmd_replica,
         "bench": _cmd_bench,
         "cache": _cmd_cache,
+        "commit": _cmd_commit,
     }
     return handlers[args.command](args)
 

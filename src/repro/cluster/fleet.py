@@ -85,6 +85,9 @@ class ClusterConfig:
     #: backups, so a promoted backup can keep granting) runs a
     #: LeaseManager and every client gets a CacheStack.  None = off.
     lease_ttl: Optional[float] = None
+    #: Memory-pressure ceiling for the async_commit path (repro.commit);
+    #: None = the ServerConfig default (512 KB).
+    unstable_limit_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.write_path = WritePath.coerce(self.write_path)
@@ -187,6 +190,9 @@ class Cluster:
             if config.presto_bytes
             else base
         )
+        extra = {}
+        if config.unstable_limit_bytes is not None:
+            extra["unstable_limit_bytes"] = config.unstable_limit_bytes
         server_config = ServerConfig(
             nfsds=config.nfsds,
             write_path=config.write_path,
@@ -195,6 +201,7 @@ class Cluster:
             cpu_scale=config.cpu_scale,
             ino_base=(index + 1) * INO_STRIDE,
             lease_ttl=config.lease_ttl,
+            **extra,
         )
         server = NfsServer(
             self.env,
@@ -249,6 +256,9 @@ class Cluster:
                 if config.presto_bytes
                 else base
             )
+            extra = {}
+            if config.unstable_limit_bytes is not None:
+                extra["unstable_limit_bytes"] = config.unstable_limit_bytes
             server_config = ServerConfig(
                 nfsds=config.nfsds,
                 write_path=config.write_path,
@@ -257,6 +267,7 @@ class Cluster:
                 cpu_scale=config.cpu_scale,
                 ino_base=(index + 1) * INO_STRIDE,
                 lease_ttl=config.lease_ttl,
+                **extra,
             )
             backup = NfsServer(
                 self.env,
@@ -310,11 +321,22 @@ class Cluster:
             self._rack_of_server,
             failover_attempts=self.config.failover_attempts,
         )
+        effective_nbiods = self.config.nbiods if nbiods is None else nbiods
+        # An async-commit fleet serves NFSv3 clients: unstable WRITE +
+        # COMMIT, with a write window driving the COMMIT pressure rule.
+        is_async = self.config.write_path == WritePath.ASYNC_COMMIT
+        write_window = None
+        if is_async:
+            from repro.overload.window import WriteWindow
+
+            write_window = WriteWindow(initial=max(1, effective_nbiods))
         client = NfsClient(
             self.env,
             cluster_rpc,
-            nbiods=self.config.nbiods if nbiods is None else nbiods,
+            nbiods=effective_nbiods,
             write_cpu=self.config.client_write_cpu,
+            nfs_version=3 if is_async else 2,
+            write_window=write_window,
         )
         if self.config.lease_ttl is not None:
             # Mandatory with leases: CacheStack registers the CB_RECALL

@@ -42,14 +42,28 @@ class ClusterOracle:
     # -- recording --------------------------------------------------------------
 
     def attach(self, client) -> None:
-        """Shadow ``client``'s stable acks onto the acking shard's oracle."""
+        """Shadow ``client``'s acks onto the acking shard's oracle.
+
+        Stable acks bind immediately; unstable acks park as pending on
+        the acking shard and a COMMIT ack promotes them there.
+        """
         router = client.rpc.router
 
         def record(fhandle, offset: int, data: bytes) -> None:
             host = router.server_for_fhandle(fhandle)
             self._oracle_for(host).record_ack(fhandle, offset, data)
 
+        def record_unstable(fhandle, offset: int, data) -> None:
+            host = router.server_for_fhandle(fhandle)
+            self._oracle_for(host).record_unstable(fhandle, offset, data)
+
+        def record_commit(fhandle, offset: int, data) -> None:
+            host = router.server_for_fhandle(fhandle)
+            self._oracle_for(host).record_commit(fhandle, offset, data)
+
         client.on_write_acked = record
+        client.on_unstable_acked = record_unstable
+        client.on_commit_acked = record_commit
 
     # -- checking ---------------------------------------------------------------
 

@@ -181,6 +181,18 @@ class ClusterRpc:
         """The primary rack's endpoint (metric naming, host identity)."""
         return self._rpcs[0].endpoint
 
+    @property
+    def congestion(self):
+        """The congestion listener (an AIMD write window) — shared across
+        every rack transport, since the window models the client's total
+        outstanding write-behind, not one wire's."""
+        return self._rpcs[0].congestion
+
+    @congestion.setter
+    def congestion(self, listener) -> None:
+        for rpc in self._rpcs:
+            rpc.congestion = listener
+
     def transport_for(self, server: str) -> RpcClient:
         return self._rpcs[self._rack_of_server.get(server, 0)]
 

@@ -1,0 +1,264 @@
+"""The async-commit write path: unstable WRITEs acked from volatile
+memory, an explicit COMMIT that makes ranges stable, and opportunistic
+flushing under memory pressure.
+
+The contract (NFSv3 §8, the move the 1994 paper could not yet make):
+
+* an unstable WRITE lands in the buffer cache (``IO_DELAYDATA``) and is
+  answered immediately — the reply carries the server's **boot
+  verifier**, which changes on every crash/reboot and on replica
+  promotion, so clients can detect that volatile data may be gone;
+* COMMIT(fhandle, offset, count) flushes the covered range (data, then
+  metadata) to stable storage and returns the current verifier; the
+  client holds its copy of every unstable range until a COMMIT under the
+  same verifier succeeds;
+* once the volatile unstable log exceeds ``ServerConfig.
+  unstable_limit_bytes``, a background process flushes the heaviest
+  files until pressure clears — COMMITs for already-flushed ranges then
+  cost only a clean syncdata.
+
+Stable (NFSv2) WRITEs from mixed-version clients take the standard
+stable-before-reply path unchanged.  With a replica group, flushed
+ranges ship to the backups as a ``stability="commit"`` batch and the
+COMMIT reply waits for quorum — an acked COMMIT is a hard guarantee
+even across promotion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.fs.ufs import FsError
+from repro.fs.vfs import FWRITE, FWRITE_METADATA, IO_DELAYDATA
+from repro.nfs.protocol import Fattr
+from repro.obs import (
+    PHASE_COMMIT,
+    PHASE_REPLICATE,
+    PHASE_REPLY,
+    PHASE_VNODE_WAIT,
+    registry_for,
+)
+from repro.rpc.messages import RPC_HEADER_BYTES
+from repro.rpc.server import REPLY_DONE, TransportHandle
+from repro.server.standard import StandardWritePath
+
+__all__ = ["AsyncCommitWritePath", "UnstableLog"]
+
+
+class _Entry:
+    """One file's un-COMMITted pieces in the volatile log."""
+
+    __slots__ = ("vnode", "pieces", "low", "high", "nbytes")
+
+    def __init__(self, vnode) -> None:
+        self.vnode = vnode
+        self.pieces: List[Tuple[int, object]] = []
+        self.low = 0
+        self.high = 0
+        self.nbytes = 0
+
+
+class UnstableLog:
+    """The server's volatile record of unstable-write pieces, per inode.
+
+    Everything here dies in a crash (:meth:`clear`); the durable image
+    only ever learns about these bytes through a flush.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, _Entry] = {}
+        self.buffered_bytes = 0
+
+    def record(self, vnode, offset: int, data) -> None:
+        entry = self._entries.get(vnode.ino)
+        if entry is None:
+            entry = self._entries[vnode.ino] = _Entry(vnode)
+            entry.low = offset
+            entry.high = offset + len(data)
+        entry.pieces.append((offset, data))
+        entry.low = min(entry.low, offset)
+        entry.high = max(entry.high, offset + len(data))
+        entry.nbytes += len(data)
+        self.buffered_bytes += len(data)
+
+    def take(self, ino: int, start: int, end: int):
+        """Remove and return the pieces intersecting [start, end).
+
+        Returns ``(pieces, low, high)`` where [low, high) covers every
+        taken piece — a flush must sync whole pieces, so a COMMIT range
+        that splits one widens to include it.
+        """
+        entry = self._entries.get(ino)
+        if entry is None:
+            return [], start, end
+        taken, kept = [], []
+        for offset, data in entry.pieces:
+            if offset < end and offset + len(data) > start:
+                taken.append((offset, data))
+            else:
+                kept.append((offset, data))
+        if not taken:
+            return [], start, end
+        low = min(offset for offset, _data in taken)
+        high = max(offset + len(data) for offset, data in taken)
+        nbytes = sum(len(data) for _offset, data in taken)
+        self.buffered_bytes -= nbytes
+        if kept:
+            entry.pieces = kept
+            entry.low = min(offset for offset, _data in kept)
+            entry.high = max(offset + len(data) for offset, data in kept)
+            entry.nbytes -= nbytes
+        else:
+            del self._entries[ino]
+        return taken, low, high
+
+    def heaviest(self) -> Optional[_Entry]:
+        """The entry holding the most buffered bytes (flush this first)."""
+        if not self._entries:
+            return None
+        return max(self._entries.values(), key=lambda entry: entry.nbytes)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.buffered_bytes = 0
+
+
+class AsyncCommitWritePath:
+    """rfs_write/rfs_commit for ``WritePath.ASYNC_COMMIT`` servers."""
+
+    def __init__(self, server) -> None:
+        self.server = server
+        self.env = server.env
+        self.limit = server.config.unstable_limit_bytes
+        self.log = UnstableLog()
+        #: Stable (NFSv2) writes from mixed-version clients keep the
+        #: reference port's stable-before-reply semantics.
+        self._stable = StandardWritePath(server)
+        self._flushing = False
+        metrics = registry_for(server.env)
+        prefix = f"{server.host}.commit"
+        self.unstable_writes = metrics.counter(f"{prefix}.unstable_writes")
+        self.commits = metrics.counter(f"{prefix}.commits")
+        self.pressure_flushes = metrics.counter(f"{prefix}.pressure_flushes")
+        self.flushed_bytes = metrics.counter(f"{prefix}.flushed_bytes")
+
+    # -- the WRITE side --------------------------------------------------------
+
+    def handle(self, nfsd_id: int, handle: TransportHandle) -> Generator:
+        """A stable WRITE: delegate to the standard path."""
+        return (yield from self._stable.handle(nfsd_id, handle))
+
+    def handle_unstable(self, handle: TransportHandle) -> Generator:
+        """An unstable WRITE: cache the data, log it, reply with the
+        verifier — then flush in the background if memory pressure says so."""
+        args = handle.call.args
+        try:
+            vnode = self.server.vnodes.by_fhandle(args.fhandle)
+        except FsError as exc:
+            yield from self.server.reply(handle, exc.code, None)
+            return REPLY_DONE
+        self.unstable_writes.add(1)
+        trace = self.server.trace_of(handle)
+        lock_requested = self.env.now
+        with vnode.lock.request() as grant:
+            yield grant
+            self.server.emit_span(
+                trace, PHASE_VNODE_WAIT, lock_requested, ino=vnode.ino
+            )
+            try:
+                yield from vnode.vop_write(args.offset, args.data, IO_DELAYDATA)
+            except FsError as exc:
+                yield from self.server.reply(handle, exc.code, None)
+                return REPLY_DONE
+            fattr = Fattr.from_inode(vnode.inode)
+            self.log.record(vnode, args.offset, args.data)
+        cached_at = self.env.now
+        yield from self.server.reply(
+            handle, "ok", (fattr, self.server.boot_verifier)
+        )
+        self.server.emit_span(trace, PHASE_REPLY, cached_at, unstable=True)
+        if self.log.buffered_bytes > self.limit and not self._flushing:
+            self._flushing = True
+            self.env.process(
+                self._pressure_flush(), name=f"commit-flush@{self.server.host}"
+            )
+        return REPLY_DONE
+
+    # -- the COMMIT side -------------------------------------------------------
+
+    def commit(self, args) -> Generator:
+        """COMMIT action routine: make [offset, offset+count) stable and
+        return the boot verifier the client must compare against."""
+        vnode = self.server.vnodes.by_fhandle(args.fhandle)
+        yield from self._flush(vnode, args.offset, args.offset + args.count)
+        self.commits.add(1)
+        return self.server.boot_verifier, RPC_HEADER_BYTES
+
+    def _flush(self, vnode, start: int, end: int) -> Generator:
+        """Flush the logged pieces intersecting [start, end): data blocks,
+        then metadata, under the vnode lock — and, in a replica group,
+        ship them to the backups before the caller may reply."""
+        server = self.server
+        entered = self.env.now
+        with vnode.lock.request() as grant:
+            yield grant
+            pieces, low, high = self.log.take(vnode.ino, start, end)
+            low, high = min(low, start), max(high, end)
+            flush_started = self.env.now
+            yield from vnode.vop_syncdata(low, high)
+            yield from vnode.vop_fsync(FWRITE | FWRITE_METADATA)
+            if self.server.obs.enabled:
+                self.server.obs.emit(
+                    PHASE_COMMIT,
+                    server.host,
+                    flush_started,
+                    self.env.now,
+                    ino=vnode.ino,
+                    bytes=sum(len(data) for _offset, data in pieces),
+                )
+            # Check inside the lock; requests flushed across a crash
+            # belong to the dead incarnation and are exempt (their clients
+            # replay them under the new verifier).
+            if pieces and entered > getattr(server, "last_crash_time", -1.0):
+                for offset, data in pieces:
+                    server.check_stable(vnode, offset, data, require_content=False)
+            replicator = getattr(server, "replicator", None)
+            if pieces and replicator is not None and replicator.active:
+                fattr = Fattr.from_inode(vnode.inode)
+                replicate_started = self.env.now
+                yield from replicator.commit_wait(
+                    [
+                        replicator.write_op(vnode, offset, data, None, fattr)
+                        for offset, data in pieces
+                    ],
+                    stability="commit",
+                )
+                if self.server.obs.enabled:
+                    self.server.obs.emit(
+                        PHASE_REPLICATE,
+                        server.host,
+                        replicate_started,
+                        self.env.now,
+                        ino=vnode.ino,
+                    )
+        for _offset, data in pieces:
+            self.flushed_bytes.add(len(data))
+
+    def _pressure_flush(self) -> Generator:
+        """Background flusher: drain the heaviest files until the volatile
+        log is back under the memory-pressure limit."""
+        try:
+            while self.log.buffered_bytes > self.limit:
+                entry = self.log.heaviest()
+                if entry is None:
+                    break
+                self.pressure_flushes.add(1)
+                yield from self._flush(entry.vnode, entry.low, entry.high)
+        finally:
+            self._flushing = False
+
+    # -- crash surface ---------------------------------------------------------
+
+    def reset_volatile(self) -> None:
+        """Crash path: the unstable log is RAM and dies with the box."""
+        self.log.clear()

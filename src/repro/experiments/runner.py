@@ -29,6 +29,7 @@ cluster  the sharded fleet (single cell or scaling sweep)     ClusterRunResult /
 overload the goodput-vs-load sweep past saturation            OverloadReport
 replica  the K-replication cost + promote-storm sweep         ReplicaRunResult
 cache    the lease-cache TTL × sharing sweep + chaos probes   CacheReport
+commit   the async WRITE+COMMIT three-way comparison + probes CommitReport
 ======== ==================================================== =====================
 
 The old per-subsystem entry points (``run_cluster``, ``run_scaling_sweep``,
@@ -63,6 +64,7 @@ EXPERIMENT_KINDS = (
     "overload",
     "replica",
     "cache",
+    "commit",
 )
 
 #: Per-kind workload-size defaults for :attr:`ExperimentSpec.file_kb`.
@@ -103,6 +105,9 @@ class ExperimentSpec:
     * ``cache``    — ``config`` (a
       :class:`~repro.lease.experiment.CacheConfig`; defaults to
       ``CacheConfig(seed=spec.seed)``), ``progress``
+    * ``commit``   — ``config`` (a
+      :class:`~repro.commit.experiment.CommitConfig`; defaults to
+      ``CommitConfig(seed=spec.seed)``), ``progress``
     """
 
     kind: str
@@ -257,6 +262,11 @@ def run(spec: ExperimentSpec):
 
         config = spec.config if spec.config is not None else CacheConfig(seed=spec.seed)
         return _run_cache(config, progress=spec.progress)
+    if spec.kind == "commit":
+        from repro.commit.experiment import CommitConfig, _run_commit
+
+        config = spec.config if spec.config is not None else CommitConfig(seed=spec.seed)
+        return _run_commit(config, progress=spec.progress)
     if spec.kind == "replica":
         from repro.replica.experiment import _run_replica
 

@@ -84,6 +84,9 @@ class TestbedConfig:
     #: and gives every added client a :class:`~repro.nfs.cache.CacheStack`.
     #: None = no leases, no client caching — the pre-lease behaviour.
     lease_ttl: Optional[float] = None
+    #: Memory-pressure ceiling for the async_commit path (repro.commit);
+    #: None = the ServerConfig default (512 KB).
+    unstable_limit_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.write_path = WritePath.coerce(self.write_path)
@@ -129,6 +132,8 @@ class Testbed:
         server_kwargs = {}
         if config.sockbuf_bytes is not None:
             server_kwargs["socket_buffer_bytes"] = config.sockbuf_bytes
+        if config.unstable_limit_bytes is not None:
+            server_kwargs["unstable_limit_bytes"] = config.unstable_limit_bytes
         server_config = ServerConfig(
             nfsds=config.nfsds,
             write_path=config.write_path,
@@ -162,11 +167,21 @@ class Testbed:
         """
         endpoint = self.segment.attach(host or self.segment.unique_host("client"))
         rpc = RpcClient(self.env, endpoint, self.server.host, policy=policy)
+        effective_nbiods = self.config.nbiods if nbiods is None else nbiods
+        # The async-commit path needs NFSv3 clients (unstable WRITE +
+        # COMMIT) with a write window for COMMIT pressure; the window
+        # starts at the biod depth so a clean wire keeps full write-behind.
+        is_async = self.config.write_path == WritePath.ASYNC_COMMIT
+        if is_async and write_window is None:
+            from repro.overload.window import WriteWindow
+
+            write_window = WriteWindow(initial=max(1, effective_nbiods))
         client = NfsClient(
             self.env,
             rpc,
-            nbiods=self.config.nbiods if nbiods is None else nbiods,
+            nbiods=effective_nbiods,
             write_cpu=self.config.client_write_cpu,
+            nfs_version=3 if is_async else 2,
             write_window=write_window,
         )
         if self.server.leases is not None:

@@ -1,7 +1,7 @@
 """Seeded chaos campaigns: randomized-but-reproducible fault plans.
 
-A :class:`ChaosCampaign` sweeps every write path (standard / gather / siva)
-crossed with Presto on/off, running N generated :class:`FaultPlan`s per
+A :class:`ChaosCampaign` sweeps every write path (standard / gather / siva
+/ async_commit) crossed with Presto on/off, running N generated :class:`FaultPlan`s per
 combination against a sequential-write workload.  Each plan's RNG is
 seeded from ``(campaign seed, write path, presto, plan index)``, so the
 same seed always produces byte-identical plans, sim timelines, and JSON
@@ -38,13 +38,18 @@ from repro.faults.events import (
 from repro.faults.oracle import Oracle
 from repro.net.spec import FDDI
 from repro.payload import PAYLOAD_FULL, coerce_payload_mode
-from repro.obs import PHASE_DISPATCH, PHASE_PROCRASTINATE, PHASE_VNODE_WAIT
+from repro.obs import (
+    PHASE_DISPATCH,
+    PHASE_PROCRASTINATE,
+    PHASE_REPLY,
+    PHASE_VNODE_WAIT,
+)
 from repro.sim import AllOf
 from repro.workload import write_file
 
 __all__ = ["ChaosCampaign", "CampaignReport", "PlanResult", "generate_plan", "run_plan"]
 
-WRITE_PATHS = ("standard", "gather", "siva")
+WRITE_PATHS = ("standard", "gather", "siva", "async_commit")
 
 #: Default NVRAM size for the presto=on arm (1 MB, the paper's board).
 PRESTO_BYTES = 1 << 20
@@ -207,6 +212,12 @@ def generate_plan(
             # Siva never naps; crash as the second writer takes the vnode
             # lock, when a parked follower sits on the leader's queue.
             trigger = OnSpan(PHASE_VNODE_WAIT, occurrence=2)
+        elif index % 6 == 0 and write_path == "async_commit":
+            # Crash right as an unstable WRITE is acked: the data sits in
+            # the volatile UnstableLog, no COMMIT has covered it, and only
+            # the client's verifier-driven replay can land it (the
+            # async-commit contract's nightmare case).
+            trigger = OnSpan(PHASE_REPLY, occurrence=rng.randint(2, 8))
         elif index % 6 == 0:
             trigger = OnSpan(PHASE_DISPATCH, occurrence=rng.randint(3, 12))
         else:

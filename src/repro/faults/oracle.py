@@ -50,6 +50,15 @@ class Oracle:
         #: mode-independent.
         self._acked: Dict[int, bytearray] = {}
         self.acked_writes = 0
+        #: Async-commit bookkeeping: unstable acks carry *no* durability
+        #: promise — the range sits here until a COMMIT under the right
+        #: verifier promotes it to a hard ack.  An un-COMMITted write may
+        #: legally be absent from a post-crash image; the client's replay
+        #: obligation is what eventually lands it (checked as a hard ack
+        #: once the COMMIT succeeds).
+        self._pending: Dict[int, List[Tuple[int, int]]] = {}
+        self.unstable_acks = 0
+        self.committed_acks = 0
         self.checks = 0
         #: Human-readable violation strings, in detection order.
         self.violations: List[str] = []
@@ -57,8 +66,15 @@ class Oracle:
     # -- recording --------------------------------------------------------------
 
     def attach(self, client) -> None:
-        """Shadow ``client``'s stable write acknowledgements."""
+        """Shadow ``client``'s write acknowledgements.
+
+        Stable (v2) acks bind a durability promise immediately; unstable
+        (v3) acks only park the range as pending, and the promise binds
+        when the matching COMMIT is acked.
+        """
         client.on_write_acked = self.record_ack
+        client.on_unstable_acked = self.record_unstable
+        client.on_commit_acked = self.record_commit
 
     def record_ack(self, fhandle, offset: int, data: bytes) -> None:
         """One stable WRITE was acked: remember the promise it binds."""
@@ -77,6 +93,36 @@ class Oracle:
             # content is not — flag 2 so checks skip the byte compare.
             mask[offset:end] = b"\x02" * len(data)
         self.acked_writes += 1
+
+    def record_unstable(self, fhandle, offset: int, data) -> None:
+        """An *unstable* WRITE was acked: no durability promise yet.
+
+        The range is tracked only so reports can show how much data was
+        in flight under the async-commit contract; a crash may legally
+        drop it (the client resends under the new verifier).
+        """
+        self.unstable_acks += 1
+        self._pending.setdefault(fhandle[0], []).append((offset, len(data)))
+
+    def record_commit(self, fhandle, offset: int, data) -> None:
+        """A COMMIT under the matching verifier covered this range: the
+        durability promise binds now, exactly like a stable WRITE ack."""
+        self.committed_acks += 1
+        pending = self._pending.get(fhandle[0])
+        if pending is not None:
+            try:
+                pending.remove((offset, len(data)))
+            except ValueError:
+                pass  # a replayed range re-recorded under a new verifier
+            if not pending:
+                del self._pending[fhandle[0]]
+        self.record_ack(fhandle, offset, data)
+
+    def pending_byte_total(self) -> int:
+        """Bytes acked unstable and not yet promoted by a COMMIT."""
+        return sum(
+            length for ranges in self._pending.values() for _offset, length in ranges
+        )
 
     def _acked_runs(self, ino: int) -> List[Tuple[int, int]]:
         """Maximal contiguous byte ranges of ``ino`` covered by acks."""

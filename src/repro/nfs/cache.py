@@ -330,6 +330,14 @@ class CacheStack:
         self.recalls_served.add(1)
         self._void_file(fhandle)  # stop serving hits before the flush
         yield from self._flush_fhandle(fhandle)
+        tracker = getattr(self.client, "tracker", None)
+        if tracker is not None and tracker.has_ranges(fhandle):
+            # Async-commit (v3) client: the flush above only got the data
+            # into the server's volatile UnstableLog.  The recall ack hands
+            # the lease to a conflicting holder, so our write-behind must
+            # be *durable* first — COMMIT (and replay on a verifier
+            # mismatch) before answering.
+            yield from tracker.commit(fhandle)
         return True
 
     def handle_reroute(self, logical: str, physical: str) -> None:

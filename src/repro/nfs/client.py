@@ -70,13 +70,6 @@ class OpenFile:
         self.outstanding: List[Event] = []
         #: First asynchronous error, reported at close (sync-on-close).
         self.error: Optional[str] = None
-        #: NFSv3: data sent with stable=False, kept until a matching COMMIT
-        #: succeeds (the client may have to resend it after a server crash).
-        self.uncommitted: List[tuple] = []
-        #: NFSv3: the server write verifier seen on the first unstable
-        #: reply; a change means the server rebooted and lost our data.
-        self.verifier: Optional[int] = None
-        self.needs_replay = False
         #: Read-ahead state: where a sequential reader's next read would
         #: start, and prefetches in flight (offset -> completion event).
         self.read_cursor = 0
@@ -145,6 +138,18 @@ class NfsClient:
         #: ``(fhandle, offset, data)`` the instant a *stable* WRITE's ok
         #: reply lands — the moment the server's durability promise binds.
         self.on_write_acked = None
+        #: Async-commit hooks (repro.faults.Oracle): an unstable WRITE was
+        #: acked (no durability promise yet) / a COMMIT under the matching
+        #: verifier succeeded (the promise binds now).
+        self.on_unstable_acked = None
+        self.on_commit_acked = None
+        #: NFSv3: uncommitted ranges tagged with their write verifier,
+        #: COMMITted on close / window pressure, resent on mismatch.
+        self.tracker = None
+        if nfs_version == 3:
+            from repro.commit.tracker import UncommittedTracker
+
+            self.tracker = UncommittedTracker(self)
 
     # -- generic RPC wrapper ---------------------------------------------------
 
@@ -467,34 +472,11 @@ class NfsClient:
         if open_file.outstanding:
             yield AllOf(self.env, list(open_file.outstanding))
             open_file.outstanding.clear()
-        if self.nfs_version == 3 and open_file.uncommitted:
-            yield from self._commit_uncommitted(open_file)
+        if self.tracker is not None and self.tracker.has_ranges(open_file.fhandle):
+            yield from self.tracker.commit(open_file.fhandle)
         if open_file.error is not None:
             error, open_file.error = open_file.error, None
             raise NfsError(error)
-
-    def _commit_uncommitted(self, open_file: OpenFile) -> Generator:
-        from repro.nfs.protocol import PROC_COMMIT, CommitArgs
-
-        for _attempt in range(3):
-            lo = min(offset for offset, _data in open_file.uncommitted)
-            hi = max(offset + len(data) for offset, data in open_file.uncommitted)
-            commit_verf = yield from self._call(
-                PROC_COMMIT, CommitArgs(open_file.fhandle, lo, hi - lo)
-            )
-            if not open_file.needs_replay and (
-                open_file.verifier is None or commit_verf == open_file.verifier
-            ):
-                open_file.uncommitted.clear()
-                open_file.verifier = commit_verf
-                return
-            # Verifier mismatch: the server rebooted; our unstable data may
-            # be gone.  Resend it all and try committing again.
-            open_file.needs_replay = False
-            open_file.verifier = None
-            for offset, data in list(open_file.uncommitted):
-                yield from self._do_write(open_file, offset, data, record=False)
-        raise NfsError("EIO")
 
     def _push_block(self, open_file: OpenFile) -> Generator:
         pending = open_file.pending
@@ -543,8 +525,24 @@ class NfsClient:
             self._busy_biods -= 1
             done.succeed()
 
+    def _replay_write(self, fhandle: FileHandle, offset: int, data: bytes) -> Generator:
+        """Resend one uncommitted range after a verifier mismatch.
+
+        Driven by the tracker's COMMIT train, which may not have an
+        :class:`OpenFile` in hand (lease recalls commit by fhandle), so
+        the write rides a throwaway one.  ``replaying=True`` suppresses
+        the pressure/stale checks — the train itself is handling them.
+        """
+        shim = OpenFile(fhandle, "(replay)")
+        yield from self._do_write(shim, offset, data, replaying=True)
+
     def _do_write(
-        self, open_file: OpenFile, offset: int, data: bytes, record: bool = True
+        self,
+        open_file: OpenFile,
+        offset: int,
+        data: bytes,
+        record: bool = True,
+        replaying: bool = False,
     ) -> Generator:
         started = self.env.now
         stable = self.nfs_version == 2
@@ -572,12 +570,19 @@ class NfsClient:
         fattr, verifier = reply.result
         if self.cache is not None:
             self.cache.store_attr(open_file.fhandle, fattr)
-        if record:
-            open_file.uncommitted.append((offset, data))
-        if open_file.verifier is None:
-            open_file.verifier = verifier
-        elif verifier != open_file.verifier:
-            open_file.needs_replay = True
+        if record and self.tracker is not None:
+            self.tracker.record(open_file.fhandle, offset, data, verifier)
+            if self.on_unstable_acked is not None:
+                self.on_unstable_acked(open_file.fhandle, offset, data)
+            if not replaying:
+                if self.tracker.stale_files(verifier):
+                    # The verifier moved under us: the server lost an
+                    # incarnation and our unstable data with it.  Resend
+                    # every uncommitted range before proceeding.
+                    yield from self.tracker.replay_stale(verifier)
+                elif self.tracker.over_pressure(open_file.fhandle):
+                    self.tracker.pressure_commits.add(1)
+                    yield from self.tracker.commit(open_file.fhandle)
         return fattr
 
     @property

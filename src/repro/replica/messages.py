@@ -63,6 +63,12 @@ class ReplBatch:
 
     seq: int
     ops: List[ReplOp]
+    #: Stability class of the batch's ops: "stable" (the op was committed
+    #: stable-before-reply on the primary) or "commit" (async-commit
+    #: pieces made stable by a COMMIT or memory-pressure flush — the
+    #: client's durability promise binds at the COMMIT reply, which is
+    #: parked on this batch's quorum).
+    stability: str = "stable"
 
     def wire_size(self) -> int:
         return RPC_HEADER_BYTES + sum(op.wire_bytes() for op in self.ops)

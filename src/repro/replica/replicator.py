@@ -138,12 +138,22 @@ class Replicator:
                 )
         if resync:
             self.resyncs.add(1)
+            # Promotion is a new server incarnation for clients: any
+            # unstable data they wrote to the old primary never reached
+            # this member (only COMMITted pieces replicate), so the boot
+            # verifier must change to force their replay.  Jump past
+            # every verifier the group has ever handed out — a crashed
+            # ex-primary's +1-per-reboot walk can never collide with an
+            # acting primary's history.
+            self.server.boot_verifier = (
+                max(member.boot_verifier for member in self.group.members) + 1
+            )
             for batch in self._log:
                 pending = _Pending(batch, needed=0, event=None)
                 for host in self.peers:
                     self._queues[host].put(pending)
 
-    def replicate(self, ops: List[ReplOp]) -> Event:
+    def replicate(self, ops: List[ReplOp], stability: str = "stable") -> Event:
         """Ship one committed batch; returns the quorum event.
 
         The event fires once ``min(quorum, live peers)`` backups ack
@@ -155,7 +165,7 @@ class Replicator:
         self._next_seq += 1
         # The primary itself applied the batch at commit time.
         self.applied_seq = seq
-        batch = ReplBatch(seq=seq, ops=list(ops))
+        batch = ReplBatch(seq=seq, ops=list(ops), stability=stability)
         self._log.append(batch)
         self.batches.add(1)
         self.ops.add(len(ops))
@@ -170,10 +180,10 @@ class Replicator:
             self._queues[host].put(pending)
         return event
 
-    def commit_wait(self, ops: List[ReplOp]) -> Generator:
+    def commit_wait(self, ops: List[ReplOp], stability: str = "stable") -> Generator:
         """Replicate and block until quorum (driven by a write path)."""
         started = self.env.now
-        done = self.replicate(ops)
+        done = self.replicate(ops, stability=stability)
         if not done.triggered:
             yield done
         self.wait.observe(self.env.now - started)

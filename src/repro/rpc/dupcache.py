@@ -25,9 +25,14 @@ from repro.sim import Environment
 
 __all__ = ["DuplicateRequestCache", "DupEntry", "NONIDEMPOTENT_PROCS"]
 
-#: Procedures whose effects must not be repeated.
+#: Procedures whose effects must not be repeated.  COMMIT is here not
+#: because a re-flush would corrupt anything (syncing clean blocks is a
+#: no-op) but because the *reply* must be the original: a retransmitted
+#: COMMIT answered from the cache returns the verifier the flush ran
+#: under and never re-flushes or double-counts the server's commit
+#: metrics.
 NONIDEMPOTENT_PROCS = frozenset(
-    {"write", "create", "remove", "setattr", "rename", "symlink"}
+    {"write", "create", "remove", "setattr", "rename", "symlink", "commit"}
 )
 
 IN_PROGRESS = "in-progress"

@@ -48,6 +48,7 @@ from repro.rpc.dupcache import DuplicateRequestCache
 from repro.rpc.messages import RPC_HEADER_BYTES
 from repro.rpc.server import REPLY_DONE, SvcServer, TransportHandle
 from repro.server.config import (
+    WRITE_PATH_ASYNC_COMMIT,
     WRITE_PATH_GATHER,
     WRITE_PATH_SIVA,
     ServerConfig,
@@ -179,6 +180,10 @@ class NfsServer:
             from repro.core.siva import SivaWritePath
 
             return SivaWritePath(self)
+        if self.config.write_path == WRITE_PATH_ASYNC_COMMIT:
+            from repro.commit.path import AsyncCommitWritePath
+
+            return AsyncCommitWritePath(self)
         return StandardWritePath(self)
 
     # -- shared services for write paths --------------------------------------
@@ -310,6 +315,12 @@ class NfsServer:
                 return REPLY_DONE
         if proc == PROC_WRITE:
             if not getattr(handle.call.args, "stable", True):
+                # The async-commit path keeps its own unstable-write log
+                # (memory-pressure flushing, COMMIT-time replication);
+                # other paths share the plain cache-and-reply routine.
+                unstable = getattr(self.write_path, "handle_unstable", None)
+                if unstable is not None:
+                    return (yield from unstable(handle))
                 return (yield from self._rfs_write_unstable(handle))
             return (yield from self.write_path.handle(nfsd_id, handle))
         action = self._actions.get(proc)
@@ -432,6 +443,11 @@ class NfsServer:
 
     def _rfs_commit(self, args) -> Generator:
         """NFSv3 COMMIT: make a byte range (and its metadata) stable."""
+        commit = getattr(self.write_path, "commit", None)
+        if commit is not None:
+            # The async-commit path flushes through its unstable log
+            # (and replicates the flushed pieces in a replica group).
+            return (yield from commit(args))
         vnode = self.vnodes.by_fhandle(args.fhandle)
         with vnode.lock.request() as grant:
             yield grant
@@ -462,6 +478,10 @@ class NfsServer:
             for queue in queues:
                 for descriptor in queue.take_all():
                     self.svc.abandon(descriptor.handle)
+        # The async-commit path's unstable log is volatile memory too.
+        reset = getattr(self.write_path, "reset_volatile", None)
+        if reset is not None:
+            reset()
         # Replication state is volatile too: queued batches die, sessions
         # stop, and any nfsd blocked on a quorum is released (its reply is
         # dropped by the incarnation guard above).

@@ -20,6 +20,7 @@ __all__ = [
     "WRITE_PATH_STANDARD",
     "WRITE_PATH_GATHER",
     "WRITE_PATH_SIVA",
+    "WRITE_PATH_ASYNC_COMMIT",
 ]
 
 
@@ -34,6 +35,7 @@ class WritePath(str, enum.Enum):
     STANDARD = "standard"
     GATHER = "gather"
     SIVA = "siva"
+    ASYNC_COMMIT = "async_commit"
 
     def __str__(self) -> str:  # "gather", not "WritePath.GATHER"
         return self.value
@@ -56,6 +58,7 @@ class WritePath(str, enum.Enum):
 WRITE_PATH_STANDARD = WritePath.STANDARD
 WRITE_PATH_GATHER = WritePath.GATHER
 WRITE_PATH_SIVA = WritePath.SIVA
+WRITE_PATH_ASYNC_COMMIT = WritePath.ASYNC_COMMIT
 
 
 @dataclass
@@ -115,12 +118,20 @@ class ServerConfig:
     #: leases piggybacked on replies and recalls them before conflicting
     #: mutations.  None = no lease layer, the pre-lease behaviour.
     lease_ttl: Optional[float] = None
+    #: Memory-pressure ceiling for the async_commit path (repro.commit):
+    #: once the server holds this many un-COMMITted bytes in volatile
+    #: memory it starts an opportunistic background flush.
+    unstable_limit_bytes: int = 512 * 1024
 
     def __post_init__(self) -> None:
         if self.nfsds < 1:
             raise ValueError(f"need at least one nfsd, got {self.nfsds}")
         if self.lease_ttl is not None and self.lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be > 0, got {self.lease_ttl}")
+        if self.unstable_limit_bytes < 1:
+            raise ValueError(
+                f"unstable_limit_bytes must be >= 1, got {self.unstable_limit_bytes}"
+            )
         if self.admission_max_requests is not None and self.admission_max_requests < 1:
             raise ValueError(
                 f"admission_max_requests must be >= 1, got {self.admission_max_requests}"

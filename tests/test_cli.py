@@ -320,7 +320,7 @@ class TestBenchCommand:
         assert main(["bench", "--file-mb", "0.25", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["schema"] == "repro.bench/1"
-        assert len(payload["cells"]) == 6  # 3 write paths x presto off/on
+        assert len(payload["cells"]) == 8  # 4 write paths x presto off/on
         for cell in payload["cells"]:
             assert {"p50", "p99", "mean"} <= set(cell["write_latency_ms"])
             assert cell["client_kb_per_sec"] > 0

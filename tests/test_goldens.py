@@ -7,6 +7,9 @@ the flyweight-payload hot-path work landed, so matching them proves the
 optimization changed no simulated number.  ``bench_seed.json`` carries
 the newer schema (``sim_ops``/``sim_ops_per_sec``/``payload``); its one
 wall-clock-derived field is stripped before comparison.
+``commit_seed.json`` pins the async WRITE+COMMIT three-way report; its
+bench cells already strip ``sim_ops_per_sec`` at the source, so it
+compares byte-for-byte like the others.
 
 Any timing-affecting change to the simulator kernel, the network stack,
 or the server paths shows up here as a byte diff.  If the change is an
@@ -44,6 +47,7 @@ _CASES = {
         "1",
         "--json",
     ],
+    "commit": ["commit", "--file-mb", "0.25", "--json"],
     "replica": [
         "replica",
         "--servers",
@@ -72,7 +76,7 @@ def _capture(argv):
     return buffer.getvalue()
 
 
-@pytest.mark.parametrize("name", ["chaos", "overload", "replica"])
+@pytest.mark.parametrize("name", ["chaos", "commit", "overload", "replica"])
 def test_seeded_json_matches_golden_byte_for_byte(name):
     golden = (GOLDEN_DIR / f"{name}_seed.json").read_text()
     assert _capture(_CASES[name]) == golden

@@ -139,7 +139,7 @@ class TestCrashRecovery:
         proc = env.process(driver(env))
         env.run(until=proc)
         open_file = proc.value
-        assert open_file.uncommitted == []
+        assert not v3.tracker.has_ranges(open_file.fhandle)
         ufs = testbed.server.ufs
         ino = ufs.root.entries["phoenix"]
         expected = b"".join(patterned_chunk(i) for i in range(8))
@@ -157,8 +157,8 @@ class TestCrashRecovery:
 
         proc = env.process(driver(env))
         env.run(until=proc)
-        assert proc.value.uncommitted == []
-        assert not proc.value.needs_replay
+        assert not v3.tracker.has_ranges(proc.value.fhandle)
+        assert v3.tracker.ranges_replayed.value == 0
         # exactly 1 write on the wire (no resend)
         assert testbed.server.ops_completed["write"].value == 1
 

@@ -41,7 +41,7 @@ class TestFacadeKinds:
         report = run(ExperimentSpec(kind="bench", file_mb=0.125))
         assert report["schema"] == "repro.bench/1"
         assert report["payload"] == PAYLOAD_FLYWEIGHT
-        assert len(report["cells"]) == 6
+        assert len(report["cells"]) == 8
 
     def test_chaos_kind(self):
         report = run(

@@ -27,6 +27,12 @@ Three gates, one per direction the baseline can rot:
 
 Cells present in only one file fail too: a silently dropped cell would
 hide exactly the regression being guarded.
+
+The per-cell *schema* is compared as well, asymmetrically: fields the
+fresh run **adds** are tolerated with a note (new instrumentation must
+not force a baseline refresh just to land), but fields the fresh run
+**drops** relative to the baseline fail — a metric that vanishes is a
+gate that silently stopped gating.
 """
 
 from __future__ import annotations
@@ -38,6 +44,17 @@ import sys
 
 def cells_by_key(report: dict) -> dict:
     return {(cell["write_path"], cell["presto"]): cell for cell in report["cells"]}
+
+
+def field_paths(cell: dict, prefix: str = "") -> set:
+    """Dotted key paths of a cell, nested dicts included."""
+    paths = set()
+    for key, value in cell.items():
+        path = f"{prefix}{key}"
+        paths.add(path)
+        if isinstance(value, dict):
+            paths |= field_paths(value, path + ".")
+    return paths
 
 
 def main(argv=None) -> int:
@@ -79,6 +96,19 @@ def main(argv=None) -> int:
         if key not in fresh:
             failures.append(f"{label}: cell missing from fresh run")
             continue
+        # Schema drift: added fields are tolerated (noted), removed
+        # fields fail — a vanished metric is a gate silently disarmed.
+        base_fields = field_paths(baseline[key])
+        fresh_fields = field_paths(fresh[key])
+        for name in sorted(fresh_fields - base_fields):
+            print(f"  {label:<18} note: fresh adds field {name!r} (tolerated)")
+        for name in sorted(base_fields - fresh_fields):
+            failures.append(
+                f"{label}: field {name!r} present in baseline but missing "
+                f"from fresh run"
+            )
+        if "write_latency_ms.p99" not in fresh_fields:
+            continue  # already failed above; nothing left to gate on
         base_p99 = baseline[key]["write_latency_ms"]["p99"]
         fresh_p99 = fresh[key]["write_latency_ms"]["p99"]
         ratio = fresh_p99 / base_p99 if base_p99 else float("inf")

@@ -513,6 +513,65 @@ def build_parser() -> argparse.ArgumentParser:
     commit_cmd.add_argument(
         "--json", action="store_true", help="emit the full report as JSON"
     )
+
+    scrub_cmd = subparsers.add_parser(
+        "scrub",
+        help="end-to-end integrity sweep: corruption x scrub bandwidth x K "
+        "(repro.integrity)",
+        description=(
+            "Run the seeded write workload under a media-fault storm (bit "
+            "rot, latent sector errors, a torn write and an NVRAM battery "
+            "degrade cashed in by a mid-run crash) while a background "
+            "scrubber walks the durable image verifying per-block "
+            "checksums.  With replicas (K>=1) every defect must self-heal "
+            "from a replica-group peer; standalone (K=0) every defect "
+            "must surface as a quarantine + EIO.  In every arm, zero "
+            "acked READs may return bytes differing from the acked write "
+            "image.  Exits 1 on any silent corruption, missed "
+            "convergence, or unhealed defect at K>=1."
+        ),
+    )
+    scrub_cmd.add_argument("--seed", type=int, default=0)
+    scrub_cmd.add_argument(
+        "--clients", type=int, default=3, help="client hosts (default: 3)"
+    )
+    scrub_cmd.add_argument(
+        "--files-per-client", type=int, default=2, help="files each (default: 2)"
+    )
+    scrub_cmd.add_argument(
+        "--file-kb", type=int, default=32, help="file size in KB (default: 32)"
+    )
+    scrub_cmd.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[0.25],
+        metavar="R",
+        help="corruption rates to sweep, fraction of durable blocks "
+        "afflicted per media fault (default: 0.25)",
+    )
+    scrub_cmd.add_argument(
+        "--bandwidths",
+        type=float,
+        nargs="+",
+        default=[2 << 20, 8 << 20],
+        metavar="BPS",
+        help="scrub read bandwidths in bytes/sec (default: 2MiB 8MiB)",
+    )
+    scrub_cmd.add_argument(
+        "--replicas",
+        type=int,
+        nargs="+",
+        default=[0, 1],
+        metavar="K",
+        help="replication factors to sweep (default: 0 1)",
+    )
+    scrub_cmd.add_argument(
+        "--out", help="also write the canonical JSON report to this file"
+    )
+    scrub_cmd.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
     return parser
 
 
@@ -1097,6 +1156,68 @@ def _cmd_commit(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_scrub(args) -> int:
+    from repro.integrity.experiment import ScrubConfig
+
+    try:
+        config = ScrubConfig(
+            seed=args.seed,
+            clients=args.clients,
+            files_per_client=args.files_per_client,
+            file_kb=args.file_kb,
+            corruption_rates=tuple(args.rates),
+            scrub_bandwidths=tuple(args.bandwidths),
+            replica_counts=tuple(args.replicas),
+        )
+    except ValueError as exc:
+        print(f"scrub: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(arm) -> None:
+        if not args.json:
+            healed = (
+                f"{arm.repairs} repaired"
+                if arm.replicas
+                else f"{arm.quarantines} quarantined, {arm.eio_reads} EIO"
+            )
+            print(
+                f"  K={arm.replicas} rate={arm.corruption_rate} "
+                f"bw={arm.scrub_bandwidth / (1 << 20):.0f}MiB/s: "
+                f"{arm.detections} detected, {healed}, "
+                f"{arm.silent_read_corruptions} silent "
+                f"[{'clean' if arm.clean else 'DIRTY'}]"
+            )
+
+    if not args.json:
+        print(
+            f"scrub: {config.clients} clients x {config.files_per_client} "
+            f"files x {config.file_kb} KB, seed {config.seed}"
+        )
+    report = run(ExperimentSpec(kind="scrub", config=config, progress=progress))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        if not args.json:
+            print(f"wrote {args.out}")
+    if args.json:
+        print(report.to_json())
+    else:
+        if report.clean:
+            print("  integrity contract held: nothing silent, all healed/surfaced")
+        else:
+            for arm in report.arms:
+                if arm.clean:
+                    continue
+                print(
+                    f"  DIRTY arm K={arm.replicas} rate={arm.corruption_rate} "
+                    f"bw={arm.scrub_bandwidth}:"
+                )
+                for violation in arm.violations:
+                    print(f"    {violation}")
+    return 0 if report.clean else 1
+
+
 def _cmd_bench(args) -> int:
     from repro.experiments.bench import bench_to_json, write_bench
 
@@ -1152,6 +1273,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "cache": _cmd_cache,
         "commit": _cmd_commit,
+        "scrub": _cmd_scrub,
     }
     return handlers[args.command](args)
 

@@ -32,6 +32,10 @@ class ClusterOracle:
         oracle = self._per_shard.get(host)
         if oracle is None:
             oracle = Oracle(env=self.env, server=self.cluster.server_by_host(host))
+            # Triage context baked into every violation message: which
+            # shard made the promise, and that the check ran against the
+            # primary's role in its group.
+            oracle.set_context(shard=host, role="primary")
             self._per_shard[host] = oracle
         return oracle
 
@@ -61,9 +65,20 @@ class ClusterOracle:
             host = router.server_for_fhandle(fhandle)
             self._oracle_for(host).record_commit(fhandle, offset, data)
 
+        def record_read(fhandle, offset: int, data) -> None:
+            host = router.server_for_fhandle(fhandle)
+            self._oracle_for(host).record_read(fhandle, offset, data)
+
         client.on_write_acked = record
         client.on_unstable_acked = record_unstable
         client.on_commit_acked = record_commit
+        client.on_read_acked = record_read
+
+    def note_fault(self, record: dict) -> None:
+        """Triage context: every shard oracle learns the latest fault, so
+        violation messages can name what provoked them."""
+        for oracle in self._per_shard.values():
+            oracle.note_fault(record)
 
     # -- checking ---------------------------------------------------------------
 
@@ -153,6 +168,17 @@ class ClusterOracle:
     @property
     def checks(self) -> int:
         return sum(oracle.checks for oracle in self._per_shard.values())
+
+    @property
+    def read_violations(self) -> List[str]:
+        """Silent-corruption reads (acked READ bytes != acked write image)."""
+        out: List[str] = []
+        for host in sorted(self._per_shard):
+            out.extend(
+                f"{host}: {violation}"
+                for violation in self._per_shard[host].read_violations
+            )
+        return out
 
     @property
     def violations(self) -> List[str]:

@@ -10,7 +10,7 @@ lets the Presto duality of §6.3 slot in transparently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.disk.model import DiskModel, DiskSpec
 from repro.disk.stats import IoStats
@@ -65,6 +65,23 @@ class Storage:
     def reset_stats(self) -> None:
         self.stats.reset()
 
+    # -- media-fault hooks (default: perfect media) ---------------------
+    # Latent sector errors are a *registry*, not per-request state: the
+    # device keeps serving timings as usual, and the filesystem asks
+    # ``latent_overlap`` on its read paths to learn the medium failed.
+    # Composite devices (stripe sets, NVRAM front-ends) forward these
+    # down the chain.
+
+    def inject_latent(self, offset: int, nbytes: int) -> None:
+        """Mark ``[offset, offset+nbytes)`` unreadable.  Default: no-op."""
+
+    def heal_latent(self, offset: int, nbytes: int) -> None:
+        """Clear latent errors overlapping the range.  Default: no-op."""
+
+    def latent_overlap(self, offset: int, nbytes: int) -> bool:
+        """True if a read of the range would hit a latent sector error."""
+        return False
+
 
 SCHEDULER_FIFO = "fifo"
 SCHEDULER_ELEVATOR = "elevator"
@@ -96,20 +113,79 @@ class DiskDevice(Storage):
         self.spec = spec
         self.scheduler = scheduler
         self.model = DiskModel(spec)
-        #: Service-time multiplier (fault injection: a degraded spindle
-        #: retrying sectors).  1.0 = healthy.
-        self.slowdown = 1.0
+        # Service-time degradation is a *base* factor times a stack of
+        # revocable fault tokens, so two overlapping faults compose
+        # multiplicatively and each revert restores exactly the state the
+        # other fault expects (see push_slowdown/pop_slowdown).
+        self._base_slowdown = 1.0
+        self._slowdown_tokens: Dict[int, float] = {}
+        self._next_token = 0
+        self._effective_slowdown = 1.0
+        #: Latent sector errors: ``(start, end) -> injected_at`` ranges a
+        #: read would fail on.  Empty on healthy media.
+        self._latent: Dict[Tuple[int, int], float] = {}
         self._pending: list = []
         self._signal = env.event()
         self._in_flight = 0
         env.process(self._serve(), name=f"disk:{self.name}")
 
+    @property
+    def slowdown(self) -> float:
+        """Effective service-time multiplier.  1.0 = healthy."""
+        return self._effective_slowdown
+
+    def _recompute_slowdown(self) -> None:
+        effective = self._base_slowdown
+        for factor in self._slowdown_tokens.values():
+            effective *= factor
+        self._effective_slowdown = effective
+
     def set_slowdown(self, factor: float) -> None:
         """Degrade (or restore) the spindle: multiply service times by
-        ``factor``.  Requests already being served are unaffected."""
+        ``factor``.  Requests already being served are unaffected.
+
+        This sets the *base* factor; fault windows stacked with
+        :meth:`push_slowdown` multiply on top of it."""
         if factor <= 0:
             raise ValueError(f"slowdown factor must be positive, got {factor}")
-        self.slowdown = factor
+        self._base_slowdown = factor
+        self._recompute_slowdown()
+
+    def push_slowdown(self, factor: float) -> int:
+        """Stack a revocable degradation on the spindle; returns a token
+        for :meth:`pop_slowdown`.  Overlapping faults compose as a product
+        and revert in any order without clobbering each other."""
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be positive, got {factor}")
+        token = self._next_token
+        self._next_token += 1
+        self._slowdown_tokens[token] = factor
+        self._recompute_slowdown()
+        return token
+
+    def pop_slowdown(self, token: int) -> None:
+        """Revert one :meth:`push_slowdown`; unknown tokens are no-ops
+        (the fault may have been cleared wholesale)."""
+        if self._slowdown_tokens.pop(token, None) is not None:
+            self._recompute_slowdown()
+
+    # -- latent sector errors -------------------------------------------
+
+    def inject_latent(self, offset: int, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise ValueError(f"latent range must be positive, got {nbytes}")
+        self._latent[(offset, offset + nbytes)] = self.env.now
+
+    def heal_latent(self, offset: int, nbytes: int) -> None:
+        end = offset + nbytes
+        for span in [s for s in self._latent if s[0] < end and offset < s[1]]:
+            del self._latent[span]
+
+    def latent_overlap(self, offset: int, nbytes: int) -> bool:
+        if not self._latent:
+            return False
+        end = offset + nbytes
+        return any(start < end and offset < stop for start, stop in self._latent)
 
     def submit(self, offset: int, nbytes: int, is_write: bool = True, kind: str = "data") -> Event:
         request = IoRequest(offset=offset, nbytes=nbytes, is_write=is_write, kind=kind)
@@ -148,6 +224,9 @@ class DiskDevice(Storage):
             )
             self.stats.busy.end()
             self.stats.record(request.nbytes, request.is_write, request.kind)
+            if request.is_write and self._latent:
+                # Writing over a latent sector relocates/refreshes it.
+                self.heal_latent(request.offset, request.nbytes)
             self._in_flight -= 1
             if self.obs.enabled:
                 self.obs.emit(

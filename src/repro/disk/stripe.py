@@ -81,6 +81,22 @@ class StripeSet(Storage):
     def queue_depth(self) -> int:
         return sum(member.queue_depth() for member in self.members)
 
+    # Media faults map through the same extent geometry as the data.
+
+    def inject_latent(self, offset: int, nbytes: int) -> None:
+        for member, member_offset, length in self.map_extent(offset, nbytes):
+            self.members[member].inject_latent(member_offset, length)
+
+    def heal_latent(self, offset: int, nbytes: int) -> None:
+        for member, member_offset, length in self.map_extent(offset, nbytes):
+            self.members[member].heal_latent(member_offset, length)
+
+    def latent_overlap(self, offset: int, nbytes: int) -> bool:
+        return any(
+            self.members[member].latent_overlap(member_offset, length)
+            for member, member_offset, length in self.map_extent(offset, nbytes)
+        )
+
     @property
     def aggregate_stats(self) -> IoStats:
         """Fresh aggregate of all member counters (rates use member windows)."""

@@ -30,6 +30,7 @@ overload the goodput-vs-load sweep past saturation            OverloadReport
 replica  the K-replication cost + promote-storm sweep         ReplicaRunResult
 cache    the lease-cache TTL × sharing sweep + chaos probes   CacheReport
 commit   the async WRITE+COMMIT three-way comparison + probes CommitReport
+scrub    the integrity sweep: corruption × bandwidth × K      ScrubRunResult
 ======== ==================================================== =====================
 
 The old per-subsystem entry points (``run_cluster``, ``run_scaling_sweep``,
@@ -65,6 +66,7 @@ EXPERIMENT_KINDS = (
     "replica",
     "cache",
     "commit",
+    "scrub",
 )
 
 #: Per-kind workload-size defaults for :attr:`ExperimentSpec.file_kb`.
@@ -108,6 +110,9 @@ class ExperimentSpec:
     * ``commit``   — ``config`` (a
       :class:`~repro.commit.experiment.CommitConfig`; defaults to
       ``CommitConfig(seed=spec.seed)``), ``progress``
+    * ``scrub``    — ``config`` (a
+      :class:`~repro.integrity.experiment.ScrubConfig`; defaults to
+      ``ScrubConfig(seed=spec.seed)``), ``progress``
     """
 
     kind: str
@@ -267,6 +272,11 @@ def run(spec: ExperimentSpec):
 
         config = spec.config if spec.config is not None else CommitConfig(seed=spec.seed)
         return _run_commit(config, progress=spec.progress)
+    if spec.kind == "scrub":
+        from repro.integrity.experiment import ScrubConfig, run_scrub
+
+        config = spec.config if spec.config is not None else ScrubConfig(seed=spec.seed)
+        return run_scrub(config, progress=spec.progress)
     if spec.kind == "replica":
         from repro.replica.experiment import _run_replica
 

@@ -24,17 +24,21 @@ from repro.faults.campaign import (
 from repro.faults.controller import FaultController
 from repro.faults.events import (
     AtTime,
+    BitRot,
     DatagramDuplication,
     DatagramReorder,
     FaultEvent,
     FaultPlan,
+    LatentSectorError,
     NetworkPartition,
+    NvramDegrade,
     OnSpan,
     PacketLossBurst,
     RetransmitStorm,
     ServerCrash,
     SlowDisk,
     SockBufShrink,
+    TornWrite,
 )
 from repro.faults.oracle import Oracle
 
@@ -51,6 +55,10 @@ __all__ = [
     "SlowDisk",
     "SockBufShrink",
     "RetransmitStorm",
+    "LatentSectorError",
+    "BitRot",
+    "TornWrite",
+    "NvramDegrade",
     "FaultController",
     "Oracle",
     "ChaosCampaign",

@@ -247,6 +247,9 @@ def run_plan(
     testbed = Testbed(config)
     client = testbed.add_client()
     oracle = Oracle(testbed)
+    # Triage context: the plan name encodes the campaign seed and cell, so
+    # a violation message alone identifies the exact re-runnable plan.
+    oracle.set_context(plan_seed=plan.name)
     oracle.attach(client)
     controller = FaultController(testbed, plan, oracle=oracle).start()
     env = testbed.env

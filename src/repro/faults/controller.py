@@ -17,21 +17,26 @@ against the durable image at the instant of death.
 
 from __future__ import annotations
 
+import random
 from typing import List, Optional
 
 from repro.faults.events import (
     AtTime,
+    BitRot,
     DatagramDuplication,
     DatagramReorder,
     FaultEvent,
     FaultPlan,
+    LatentSectorError,
     NetworkPartition,
+    NvramDegrade,
     OnSpan,
     PacketLossBurst,
     RetransmitStorm,
     ServerCrash,
     SlowDisk,
     SockBufShrink,
+    TornWrite,
 )
 from repro.obs import PHASE_FAULT, collector_for
 
@@ -69,6 +74,10 @@ class FaultController:
         self.log: List[dict] = []
         self.crashes = 0
         self._span_waiters: List[_SpanWaiter] = []
+        #: Extra record fields set by _apply (e.g. victim block addrs).
+        self._apply_extra: Optional[dict] = None
+        #: The most recently applied fault record (triage context).
+        self.last_applied: Optional[dict] = None
 
     def start(self) -> "FaultController":
         """Spawn one driver process per planned event.  Call before
@@ -107,12 +116,20 @@ class FaultController:
             if trigger.delay > 0:
                 yield self.env.timeout(trigger.delay)
         started = self.env.now
+        if self.oracle is not None and hasattr(self.oracle, "note_fault"):
+            # Tell the oracle *before* applying: crash-time checks then
+            # carry the fault that provoked them in their messages.
+            self.oracle.note_fault(
+                {"kind": event.kind, "start": started, **event.params()}
+            )
         revert = self._apply(event)
+        extra = self._apply_extra
+        self._apply_extra = None
         if event.window > 0:
             yield self.env.timeout(event.window)
         if revert is not None:
             revert()
-        self._record(event, started, self.env.now)
+        self._record(event, started, self.env.now, extra)
 
     def _apply(self, event: FaultEvent):
         """Inject one fault; returns a revert callable (or None)."""
@@ -121,8 +138,28 @@ class FaultController:
         if isinstance(event, ServerCrash):
             server.simulate_crash()
             self.crashes += 1
+            # An armed NVRAM battery fault bites now: the lost extents'
+            # durable copies vanish (detectably — digests stay behind).
+            storage = getattr(self.testbed, "storage", None)
+            if storage is not None and hasattr(storage, "take_degraded"):
+                lost = storage.take_degraded()
+                if lost:
+                    durable = server.ufs.cache.durable
+                    afflicted: List[int] = []
+                    for start, end in lost:
+                        afflicted.extend(
+                            durable.lose_range(start, end, server.ufs.block_size)
+                        )
+                    self._apply_extra = {
+                        "nvram_lost_extents": [list(extent) for extent in lost],
+                        "nvram_lost_blocks": sorted(set(afflicted)),
+                    }
             if self.oracle is not None:
                 self.oracle.check(f"crash#{self.crashes}")
+            if server.replicator is not None:
+                # A replicated shard rejoins its group on reboot and
+                # resyncs from its own log (fresh peers repair the rest).
+                server.replicator.activate()
             if event.reboot_delay > 0:
                 # Down for the count: unreachable until the reboot finishes.
                 segment.partition(server.host)
@@ -146,13 +183,13 @@ class FaultController:
             segment.set_reorder(event.rate, event.extra_delay)
             return lambda: segment.set_reorder(*previous)
         if isinstance(event, SlowDisk):
+            # Token-stacked degradation: overlapping SlowDisk windows
+            # compose multiplicatively and each revert removes exactly its
+            # own contribution, whatever the overlap order.
             disks = list(self.testbed.disks)
-            previous_factors = [disk.slowdown for disk in disks]
-            for disk in disks:
-                disk.set_slowdown(event.factor)
+            tokens = [disk.push_slowdown(event.factor) for disk in disks]
             return lambda: [
-                disk.set_slowdown(factor)
-                for disk, factor in zip(disks, previous_factors)
+                disk.pop_slowdown(token) for disk, token in zip(disks, tokens)
             ]
         if isinstance(event, SockBufShrink):
             inbox = server.endpoint.inbox
@@ -171,9 +208,50 @@ class FaultController:
                 inbox.capacity_bytes = capacity
                 segment.set_loss_rate(loss)
             return calm
+        if isinstance(event, LatentSectorError):
+            victims = self._pick_victims(event.kind, event.seed, event.count)
+            block_size = server.ufs.block_size
+            for addr in victims:
+                self.testbed.storage.inject_latent(addr, block_size)
+            self._apply_extra = {"victims": victims}
+            return None
+        if isinstance(event, BitRot):
+            victims = self._pick_victims(event.kind, event.seed, event.count)
+            rng = random.Random(f"{event.kind}/{event.seed}/flip")
+            durable = server.ufs.cache.durable
+            rotted = [addr for addr in victims if durable.rot_block(addr, rng)]
+            self._apply_extra = {"victims": rotted}
+            return None
+        if isinstance(event, TornWrite):
+            server.ufs.cache.arm_torn_write(event.seed)
+            return None
+        if isinstance(event, NvramDegrade):
+            storage = getattr(self.testbed, "storage", None)
+            if storage is not None and hasattr(storage, "arm_degrade"):
+                storage.arm_degrade(event.fraction, event.seed)
+                self._apply_extra = {"armed": True}
+            else:
+                # No NVRAM in front of the disks: nothing to degrade.
+                self._apply_extra = {"armed": False}
+            return None
         raise TypeError(f"unknown fault event {type(event).__name__}")
 
-    def _record(self, event: FaultEvent, started: float, ended: float) -> None:
+    def _pick_victims(self, kind: str, seed: int, count: int) -> List[int]:
+        """Seeded choice of durable block addresses to afflict."""
+        durable = self.testbed.server.ufs.cache.durable
+        pool = sorted(durable.blocks)
+        if not pool or count <= 0:
+            return []
+        rng = random.Random(f"{kind}/{seed}")
+        return sorted(rng.sample(pool, min(count, len(pool))))
+
+    def _record(
+        self,
+        event: FaultEvent,
+        started: float,
+        ended: float,
+        extra: Optional[dict] = None,
+    ) -> None:
         record = {"kind": event.kind, "start": started, "end": ended}
         record.update(
             {
@@ -181,7 +259,10 @@ class FaultController:
                 for key, value in event.params().items()
             }
         )
+        if extra:
+            record.update(extra)
         self.log.append(record)
+        self.last_applied = record
         if self.obs.enabled:
             self.obs.emit(
                 PHASE_FAULT, "faults", started, ended, **{"kind": event.kind}

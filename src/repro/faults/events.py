@@ -32,6 +32,10 @@ __all__ = [
     "SlowDisk",
     "SockBufShrink",
     "RetransmitStorm",
+    "LatentSectorError",
+    "BitRot",
+    "TornWrite",
+    "NvramDegrade",
     "FaultPlan",
 ]
 
@@ -207,6 +211,45 @@ class RetransmitStorm(FaultEvent):
     duration: float = 0.3
 
 
+@dataclass(frozen=True)
+class LatentSectorError(FaultEvent):
+    """Mark ``count`` seeded durable sectors unreadable (the medium grew a
+    defect); reads of an afflicted sector fail with EIO until a write —
+    or a scrub repair — relocates the data over it."""
+
+    count: int = 1
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class BitRot(FaultEvent):
+    """Silently flip a byte in ``count`` seeded durable blocks.  The disk
+    keeps serving the rotted bytes without complaint — only checksum
+    verification on the read path (or a scrub pass) can notice."""
+
+    count: int = 1
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class TornWrite(FaultEvent):
+    """Arm the next crash to tear an in-flight multi-sector flush: a
+    prefix of the run lands, one sector lands mangled, the tail never
+    does.  No-op if no flush is in flight when the crash hits."""
+
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class NvramDegrade(FaultEvent):
+    """Battery fault: a seeded ``fraction`` of the *unflushed* NVRAM
+    contents is lost at the next crash instead of surviving it — the
+    failure mode Presto's battery exists to prevent."""
+
+    fraction: float = 0.5
+    seed: int = 0
+
+
 _KIND_OF = {
     ServerCrash: "server_crash",
     PacketLossBurst: "packet_loss",
@@ -216,6 +259,10 @@ _KIND_OF = {
     SlowDisk: "slow_disk",
     SockBufShrink: "sockbuf_shrink",
     RetransmitStorm: "retransmit_storm",
+    LatentSectorError: "latent_sector",
+    BitRot: "bit_rot",
+    TornWrite: "torn_write",
+    NvramDegrade: "nvram_degrade",
 }
 
 
@@ -228,6 +275,47 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "events", tuple(self.events))
+        self._validate()
+
+    def _validate(self) -> None:
+        """Reject plans that are nonsense before they reach a controller.
+
+        Negative trigger times, delays, or windows would schedule faults
+        in the past; two partitions whose windows overlap on intersecting
+        host sets would make the controller's revert restore the wrong
+        membership.  Both used to be applied as-is.
+        """
+        for index, event in enumerate(self.events):
+            where = f"{self.name!r} event #{index} ({event.kind})"
+            trigger = event.trigger
+            if isinstance(trigger, AtTime) and trigger.at < 0:
+                raise ValueError(f"{where}: negative trigger time {trigger.at}")
+            if isinstance(trigger, OnSpan) and trigger.delay < 0:
+                raise ValueError(f"{where}: negative trigger delay {trigger.delay}")
+            if event.window < 0:
+                raise ValueError(f"{where}: negative duration {event.window}")
+        partitions = [
+            (index, event)
+            for index, event in enumerate(self.events)
+            if isinstance(event, NetworkPartition)
+            and isinstance(event.trigger, AtTime)
+        ]
+        for pos, (index_a, a) in enumerate(partitions):
+            for index_b, b in partitions[pos + 1 :]:
+                start_a, end_a = a.trigger.at, a.trigger.at + a.duration
+                start_b, end_b = b.trigger.at, b.trigger.at + b.duration
+                if start_a < end_b and start_b < end_a:
+                    # Empty hosts = the server, so two empty-host
+                    # partitions always collide; otherwise only when the
+                    # host sets intersect.
+                    hosts_a, hosts_b = set(a.hosts), set(b.hosts)
+                    if (not hosts_a and not hosts_b) or (hosts_a & hosts_b):
+                        raise ValueError(
+                            f"{self.name!r}: partitions #{index_a} and "
+                            f"#{index_b} overlap in time "
+                            f"([{start_a}, {end_a}) vs [{start_b}, {end_b})) "
+                            f"on the same hosts"
+                        )
 
     @property
     def crash_count(self) -> int:

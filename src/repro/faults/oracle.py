@@ -18,7 +18,7 @@ chaos campaign's report pinpoints exactly which promise broke and when.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.fs.fsck import fsck
 
@@ -62,6 +62,19 @@ class Oracle:
         self.checks = 0
         #: Human-readable violation strings, in detection order.
         self.violations: List[str] = []
+        #: Read-contract violations (also mirrored into ``violations``):
+        #: an acked READ returned bytes differing from the acked write
+        #: image — silent corruption that escaped every checksum.
+        self.read_violations: List[str] = []
+        self.read_acks = 0
+        # Triage context, all optional: filled by cluster oracles
+        # (shard/role) and chaos campaigns (plan seed); the controller
+        # keeps ``note_fault`` current.  Empty context adds nothing to
+        # messages, so single-server reports are byte-stable.
+        self.shard: Optional[str] = None
+        self.role: Optional[str] = None
+        self.plan_seed: Optional[object] = None
+        self._last_fault: Optional[dict] = None
 
     # -- recording --------------------------------------------------------------
 
@@ -117,6 +130,72 @@ class Oracle:
             if not pending:
                 del self._pending[fhandle[0]]
         self.record_ack(fhandle, offset, data)
+
+    def record_read(self, fhandle, offset: int, data) -> None:
+        """An acked READ: its bytes must match the acked write image.
+
+        This is the end-to-end half of the integrity contract: whatever
+        the storage stack did internally, a read that *succeeded* must
+        never hand the application bytes differing from what was acked
+        stable.  Flyweight reads and never-acked ranges are skipped.
+        """
+        self.read_acks += 1
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            return
+        ino = fhandle[0]
+        image = self._images.get(ino)
+        mask = self._acked.get(ino)
+        if image is None or mask is None:
+            return
+        upper = min(offset + len(data), len(mask))
+        if upper <= offset:
+            return
+        now = self.env.now
+        suffix = self._context_suffix()
+        for sub_start, sub_end in self._content_runs(mask, offset, upper):
+            got = bytes(data[sub_start - offset : sub_end - offset])
+            want = bytes(image[sub_start:sub_end])
+            if got != want:
+                message = (
+                    f"[read t={now:.6f}] ino {ino} bytes [{sub_start},{sub_end}): "
+                    f"acked READ returned bytes differing from the acked "
+                    f"write image (silent corruption){suffix}"
+                )
+                self.read_violations.append(message)
+                self.violations.append(message)
+
+    def note_fault(self, record: dict) -> None:
+        """Remember the most recently applied fault for triage context."""
+        self._last_fault = dict(record)
+
+    def set_context(
+        self,
+        shard: Optional[str] = None,
+        role: Optional[str] = None,
+        plan_seed: Optional[object] = None,
+    ) -> None:
+        """Attach triage context appended to every violation message."""
+        if shard is not None:
+            self.shard = shard
+        if role is not None:
+            self.role = role
+        if plan_seed is not None:
+            self.plan_seed = plan_seed
+
+    def _context_suffix(self) -> str:
+        parts: List[str] = []
+        if self.shard is not None:
+            parts.append(f"shard={self.shard}")
+        if self.role is not None:
+            parts.append(f"role={self.role}")
+        if self.plan_seed is not None:
+            parts.append(f"plan_seed={self.plan_seed}")
+        if self._last_fault is not None:
+            kind = self._last_fault.get("kind", "?")
+            start = self._last_fault.get("start")
+            at = f"@t={start:.6f}" if isinstance(start, float) else ""
+            parts.append(f"last_fault={kind}{at}")
+        return f" [{', '.join(parts)}]" if parts else ""
 
     def pending_byte_total(self) -> int:
         """Bytes acked unstable and not yet promoted by a COMMIT."""
@@ -214,6 +293,9 @@ class Oracle:
         report = fsck(ufs, strict=False)
         for error in report.errors:
             found.append(f"[{label} t={now:.6f}] fsck: {error}")
+        suffix = self._context_suffix()
+        if suffix:
+            found = [message + suffix for message in found]
         self.checks += 1
         self.violations.extend(found)
         return found
@@ -256,6 +338,9 @@ class Oracle:
                 f"[{label} t={now:.6f}] fsck({name}): {error}"
                 for error in report.errors
             )
+        suffix = self._context_suffix()
+        if suffix:
+            found = [message + suffix for message in found]
         self.checks += 1
         self.violations.extend(found)
         return found

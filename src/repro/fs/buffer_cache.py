@@ -14,11 +14,14 @@ invariants, not just timings:
 
 from __future__ import annotations
 
+import random
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.disk.device import Storage
 from repro.fs.inode import InodeSnapshot
+from repro.integrity.checksum import block_digest
+from repro.integrity.errors import CorruptBlockError
 from repro.sim import AllOf, Environment, Event
 
 __all__ = ["Buffer", "BufferCache", "DurableImage", "FlushRun"]
@@ -45,6 +48,7 @@ class Buffer:
 
 
 _ZERO_BLOCKS: Dict[int, bytes] = {}
+_ZERO_DIGESTS: Dict[int, int] = {}
 
 
 def _zero_block(size: int) -> bytes:
@@ -54,22 +58,102 @@ def _zero_block(size: int) -> bytes:
     return block
 
 
+def _digest_of(data: bytes) -> int:
+    """``block_digest``, with the shared flyweight zero block memoized —
+    flyweight flushes commit the same immutable object over and over."""
+    if data is _ZERO_BLOCKS.get(len(data)):
+        digest = _ZERO_DIGESTS.get(len(data))
+        if digest is None:
+            digest = _ZERO_DIGESTS[len(data)] = block_digest(data)
+        return digest
+    return block_digest(data)
+
+
 class DurableImage:
-    """What stable storage currently holds (blocks + committed metadata)."""
+    """What stable storage currently holds (blocks + committed metadata).
+
+    Every committed block carries a digest (``checksums``), written at
+    commit time — the end-to-end integrity anchor.  Media faults mutate
+    ``blocks`` *without* touching the digest, which is exactly what makes
+    them detectable; ``quarantined`` marks addresses a scrub (or failed
+    read) has declared unreadable pending repair.
+    """
 
     def __init__(self) -> None:
         self.blocks: Dict[int, bytes] = {}
         self.inodes: Dict[int, InodeSnapshot] = {}
         self.indirects: Dict[int, Dict[int, int]] = {}
+        #: addr -> digest of the bytes that were acked as stable.
+        self.checksums: Dict[int, int] = {}
+        #: addr -> reason string for blocks surfaced as unreadable.
+        self.quarantined: Dict[int, str] = {}
 
     def commit_block(self, addr: int, data: bytes) -> None:
         self.blocks[addr] = data
+        self.checksums[addr] = _digest_of(data)
+        self.quarantined.pop(addr, None)
+
+    def commit_block_torn(self, addr: int, intended: bytes, mangled: bytes) -> None:
+        """A torn commit: ``mangled`` bytes land under the digest of the
+        ``intended`` bytes — the on-medium state after a crash interrupts
+        a multi-sector transfer mid-block."""
+        self.blocks[addr] = mangled
+        self.checksums[addr] = block_digest(intended)
+        self.quarantined.pop(addr, None)
 
     def commit_inode(self, ino: int, snapshot: InodeSnapshot) -> None:
         self.inodes[ino] = snapshot
 
     def commit_indirect(self, ino: int, mapping: Dict[int, int]) -> None:
         self.indirects[ino] = dict(mapping)
+
+    def verify_block(self, addr: int) -> None:
+        """Raise :class:`CorruptBlockError` if ``addr`` cannot be trusted.
+
+        A block with no recorded digest verifies trivially (never
+        committed through the checksummed path, e.g. a fresh hole).
+        """
+        reason = self.quarantined.get(addr)
+        if reason is not None:
+            raise CorruptBlockError(addr, "quarantined", reason)
+        digest = self.checksums.get(addr)
+        if digest is None:
+            return
+        data = self.blocks.get(addr)
+        if data is None:
+            raise CorruptBlockError(addr, "missing", "digest present, content lost")
+        if _digest_of(data) != digest:
+            raise CorruptBlockError(addr, "checksum")
+
+    def quarantine(self, addr: int, reason: str) -> None:
+        self.quarantined[addr] = reason
+
+    def rot_block(self, addr: int, rng: random.Random) -> bool:
+        """Silently flip one seeded bit of a committed block's bytes,
+        leaving its digest intact.  Returns False if there is nothing to
+        rot at ``addr``."""
+        data = self.blocks.get(addr)
+        if not data:
+            return False
+        pos = rng.randrange(len(data))
+        flipped = data[pos] ^ (1 << rng.randrange(8))
+        self.blocks[addr] = data[:pos] + bytes((flipped,)) + data[pos + 1 :]
+        return True
+
+    def lose_block(self, addr: int) -> None:
+        """Drop a block's content but keep its digest — a detectable loss
+        (verification reports "missing"), unlike silently zeroed bytes."""
+        self.blocks.pop(addr, None)
+
+    def lose_range(self, start: int, end: int, block_size: int) -> List[int]:
+        """Lose every block overlapping ``[start, end)``; returns the
+        afflicted addresses."""
+        afflicted = [
+            addr for addr in self.blocks if addr < end and start < addr + block_size
+        ]
+        for addr in afflicted:
+            self.blocks.pop(addr)
+        return sorted(afflicted)
 
 
 class FlushRun:
@@ -118,6 +202,11 @@ class BufferCache:
         #: Completion events of async flushes still in flight, keyed by the
         #: run's start address (syncdata waits on overlapping ones).
         self._in_flight: Dict[int, Tuple[Event, int]] = {}
+        #: Armed torn-write fault: run id -> pre-drawn tear fraction for
+        #: flushes that were in flight when the crash hit (see
+        #: arm_torn_write / reset_volatile).
+        self._torn_ids: Dict[int, float] = {}
+        self._torn_rng: Optional[random.Random] = None
 
     # -- basic cache operations ---------------------------------------------
 
@@ -138,6 +227,9 @@ class BufferCache:
         buffer = self.lookup(addr)
         if buffer is None:
             buffer = Buffer(addr, self.block_size)
+            # End-to-end check: never launder corrupt (or lost) durable
+            # bytes into the cache (raises CorruptBlockError on mismatch).
+            self.durable.verify_block(addr)
             durable = self.durable.blocks.get(addr)
             if durable is not None:
                 buffer.data[:] = durable
@@ -239,8 +331,12 @@ class BufferCache:
         self._in_flight[id(run)] = (done, run.start)
 
         def complete(_event: Event) -> None:
-            for buffer, data, _version in run.snapshots:
-                self.durable.commit_block(buffer.addr, data)
+            torn_at = self._torn_ids.pop(id(run), None)
+            if torn_at is not None and len(run.snapshots) > 1:
+                self._commit_torn(run, torn_at)
+            else:
+                for buffer, data, _version in run.snapshots:
+                    self.durable.commit_block(buffer.addr, data)
             if on_commit is not None:
                 on_commit(run)
             # pop, not del: a simulated crash clears the tracking table
@@ -251,6 +347,25 @@ class BufferCache:
         device_event.callbacks.append(complete)
         return done
 
+    def arm_torn_write(self, seed: int = 0) -> None:
+        """Arm the next crash to tear flushes that are then in flight: a
+        prefix of each multi-block run lands, one block lands mangled
+        (under the digest of the intended bytes), the tail never lands.
+        Single-block runs stay atomic.  Consumed by one crash."""
+        self._torn_rng = random.Random(f"torn-write/{seed}")
+
+    def _commit_torn(self, run: FlushRun, fraction: float) -> None:
+        snapshots = run.snapshots
+        tear = 1 + int(fraction * (len(snapshots) - 1))
+        tear = min(tear, len(snapshots) - 1)
+        for index, (buffer, data, _version) in enumerate(snapshots):
+            if index < tear:
+                self.durable.commit_block(buffer.addr, data)
+            elif index == tear:
+                mangled = data[:-1] + bytes((data[-1] ^ 0xFF,))
+                self.durable.commit_block_torn(buffer.addr, data, mangled)
+            # Blocks past the tear never reached the medium.
+
     def reset_volatile(self) -> None:
         """Forget all in-core state at a simulated crash.
 
@@ -259,7 +374,17 @@ class BufferCache:
         already in flight still fire — ``_submit_run`` pops from the cleared
         table — and still commit their submit-time snapshots, modelling
         transactions the controller had accepted before the host died.
+        With a torn-write fault armed (:meth:`arm_torn_write`), those
+        in-flight completions instead land *torn*.
         """
+        if self._torn_rng is not None and self._in_flight:
+            # Deterministic: draw tear fractions in run-start order (ties
+            # keep submission order — dict order is insertion order).
+            for run_id, (_done, _start) in sorted(
+                self._in_flight.items(), key=lambda item: item[1][1]
+            ):
+                self._torn_ids[run_id] = self._torn_rng.random()
+        self._torn_rng = None
         self._buffers.clear()
         self._in_flight.clear()
 

@@ -25,6 +25,7 @@ from typing import Dict, List
 
 from repro.fs.inode import NDIRECT
 from repro.fs.ufs import Ufs
+from repro.integrity.checksum import block_digest
 
 __all__ = ["FsckReport", "fsck"]
 
@@ -122,6 +123,26 @@ def fsck(ufs: Ufs, strict: bool = True) -> FsckReport:
                     report.errors.append(message)
                 else:
                     report.warnings.append(message)
+                continue
+            # Integrity check: content present under a digest must match
+            # it.  A quarantined block is already *detected* damage
+            # awaiting repair — warn, don't error; a silent mismatch on an
+            # unquarantined block is an error in both modes (no crash
+            # legitimately mutates committed bytes).
+            content = durable.blocks.get(addr)
+            digest = durable.checksums.get(addr)
+            if content is None or digest is None:
+                continue
+            if addr in durable.quarantined:
+                report.warnings.append(
+                    f"ino {ino} block {fblock}: block {addr:#x} quarantined "
+                    f"({durable.quarantined[addr]}), awaiting repair"
+                )
+            elif block_digest(content) != digest:
+                report.errors.append(
+                    f"ino {ino} block {fblock}: checksum mismatch at {addr:#x} "
+                    f"(silent corruption)"
+                )
 
         if snapshot.indirect_addr is not None:
             if snapshot.indirect_addr % block_size != 0 or not (

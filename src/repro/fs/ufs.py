@@ -32,6 +32,7 @@ from repro.disk.device import Storage
 from repro.fs.allocator import Allocator, NoSpace
 from repro.fs.buffer_cache import BufferCache
 from repro.fs.inode import NDIRECT, FileType, Inode
+from repro.integrity.errors import CorruptBlockError
 from repro.sim import AllOf, Environment, Event
 
 __all__ = ["Ufs", "FsError", "CostModel", "WriteResult", "ROOT_INO"]
@@ -229,7 +230,7 @@ class Ufs:
             if addr is None:
                 addr = self._allocate_block(inode, fblock)
                 grew_structure = True
-            buffer = self.cache.get(addr)
+            buffer = self._get_buffer_checked(addr)
             if not flyweight:
                 buffer.data[within : within + take] = remaining[:take]
                 remaining = remaining[take:]
@@ -269,6 +270,19 @@ class Ufs:
             mtime_only=inode.only_mtime_dirty
             and not (inode.inode_dirty or inode.indirect_dirty),
         )
+
+    def _get_buffer_checked(self, addr: int):
+        """Fault in a buffer, converting integrity failures to EIO.
+
+        A corrupt durable block is quarantined at detection time (the
+        scrub layer repairs or reports it) and the caller sees a plain
+        I/O error — never the rotted bytes.
+        """
+        try:
+            return self.cache.get(addr)
+        except CorruptBlockError as exc:
+            self.cache.durable.quarantine(addr, exc.reason)
+            raise FsError("EIO", str(exc)) from exc
 
     def _allocate_block(self, inode: Inode, fblock: int) -> int:
         try:
@@ -433,7 +447,12 @@ class Ufs:
                 if buffer is None:
                     yield from self._charge(self._device_trip_cost())
                     yield self.storage.submit(addr, self.block_size, is_write=False, kind="data")
-                    buffer = self.cache.get(addr)
+                    if self.storage.latent_overlap(addr, self.block_size):
+                        # The medium failed the read: surface EIO, leave a
+                        # quarantine record for the scrubber to repair.
+                        self.cache.durable.quarantine(addr, "latent")
+                        raise FsError("EIO", f"latent sector error at addr={addr}")
+                    buffer = self._get_buffer_checked(addr)
                 out.extend(buffer.data[within : within + take])
             pos += take
         inode.atime = self.env.now

@@ -1,0 +1,21 @@
+"""Block digests for end-to-end integrity.
+
+One function, one invariant: ``block_digest(data)`` is the digest the
+write path stores next to every durable block, and the digest every
+read path recomputes before trusting the bytes.  CRC32 is plenty for a
+simulator — the point is *detection plumbing*, not cryptographic
+strength — and it is pure stdlib, byte-deterministic, and cheap enough
+that computing it at commit time cannot perturb simulated timings
+(checksums are bookkeeping, never sim events).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["block_digest"]
+
+
+def block_digest(data: bytes) -> int:
+    """The integrity digest of one durable block's bytes."""
+    return zlib.crc32(data) & 0xFFFFFFFF

@@ -1,0 +1,29 @@
+"""Typed integrity failures.
+
+:class:`CorruptBlockError` deliberately does **not** subclass
+``repro.fs.ufs.FsError`` — the buffer cache sits *below* UFS and must
+not import it (the dependency points the other way).  UFS catches this
+error at its storage boundaries and converts it to ``FsError("EIO")``
+so servers and clients see a plain I/O error, never silent garbage.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CorruptBlockError"]
+
+
+class CorruptBlockError(Exception):
+    """A durable block failed checksum verification (or is quarantined).
+
+    ``addr`` is the block address; ``reason`` is a short machine-usable
+    tag (``"checksum"``, ``"missing"``, ``"quarantined"``).
+    """
+
+    def __init__(self, addr: int, reason: str = "checksum", detail: str = ""):
+        self.addr = addr
+        self.reason = reason
+        self.detail = detail
+        text = f"corrupt block at addr={addr} ({reason})"
+        if detail:
+            text += f": {detail}"
+        super().__init__(text)

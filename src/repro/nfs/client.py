@@ -143,6 +143,10 @@ class NfsClient:
         #: verifier succeeded (the promise binds now).
         self.on_unstable_acked = None
         self.on_commit_acked = None
+        #: Integrity hook (repro.faults.Oracle): called as
+        #: ``(fhandle, offset, data)`` when a READ's ok reply lands — the
+        #: end-to-end contract that acked reads match acked writes.
+        self.on_read_acked = None
         #: NFSv3: uncommitted ranges tagged with their write verifier,
         #: COMMITted on close / window pressure, resent on mismatch.
         self.tracker = None
@@ -348,6 +352,8 @@ class NfsClient:
             fattr_and_data = yield from self._call(PROC_READ, args)
         fattr, data = fattr_and_data
         open_file.known_size = fattr.size
+        if self.on_read_acked is not None:
+            self.on_read_acked(open_file.fhandle, offset, data)
         if self.cache is not None:
             self.cache.store_attr(open_file.fhandle, fattr)
             self.cache.store_block(open_file.fhandle, offset, data)

@@ -34,6 +34,7 @@ __all__ = [
     "PROC_REPLICATE",
     "PROC_CB_RECALL",
     "PROC_LEASE_RENEW",
+    "PROC_SCRUB_FETCH",
     "WEIGHT_OF",
     "Fattr",
     "RecallArgs",
@@ -84,6 +85,10 @@ PROC_REPLICATE = "replicate"
 #: re-register held leases (e.g. against a promoted backup after failover).
 PROC_CB_RECALL = "cb_recall"
 PROC_LEASE_RENEW = "lease_renew"
+#: Integrity-layer procedure (repro.integrity): a scrubber asks a replica
+#: peer for one verified block to repair a corrupt/latent local copy.
+#: Never sent by NFS clients; shares the replica RPC transport.
+PROC_SCRUB_FETCH = "scrub_fetch"
 
 #: Client backoff class per procedure (§4.1).
 WEIGHT_OF = {
@@ -105,6 +110,7 @@ WEIGHT_OF = {
     PROC_REPLICATE: CLASS_HEAVY,
     PROC_CB_RECALL: CLASS_LIGHT,
     PROC_LEASE_RENEW: CLASS_LIGHT,
+    PROC_SCRUB_FETCH: CLASS_MEDIUM,
 }
 
 

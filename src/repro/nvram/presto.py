@@ -25,7 +25,8 @@ disk after server failure" clause of the SPEC baseline requirement.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import random
+from typing import List, Optional, Tuple
 
 from repro.disk.device import Storage
 from repro.obs import PHASE_NVRAM_COPY, collector_for
@@ -89,6 +90,8 @@ class PrestoCache(Storage):
         self._draining: Tuple[int, int] | None = None
         self._dirty_signal = env.event()
         self._declined = 0
+        #: Armed battery fault as (fraction, seed); None = battery healthy.
+        self._degrade: Optional[Tuple[float, int]] = None
         #: When the oldest currently-cached byte arrived (age trigger).
         self._oldest_insert: float = 0.0
         #: Elevator cursor: the drain sweeps extents in address order so a
@@ -165,6 +168,51 @@ class PrestoCache(Storage):
     def reset_stats(self) -> None:
         super().reset_stats()
         self.backing.reset_stats()
+
+    # -- media-fault hooks ---------------------------------------------------
+
+    def inject_latent(self, offset: int, nbytes: int) -> None:
+        self.backing.inject_latent(offset, nbytes)
+
+    def heal_latent(self, offset: int, nbytes: int) -> None:
+        self.backing.heal_latent(offset, nbytes)
+
+    def latent_overlap(self, offset: int, nbytes: int) -> bool:
+        return self.backing.latent_overlap(offset, nbytes)
+
+    def arm_degrade(self, fraction: float, seed: int = 0) -> None:
+        """Arm a battery fault: at the next crash, a seeded Bernoulli coin
+        per dirty extent loses roughly ``fraction`` of the unflushed NVRAM
+        contents (see :meth:`take_degraded`)."""
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"degrade fraction must be in [0, 1], got {fraction}")
+        self._degrade = (fraction, seed)
+
+    def take_degraded(self) -> List[Tuple[int, int]]:
+        """Consume an armed battery fault at crash time.
+
+        Returns the (offset, end) extents whose NVRAM copies did *not*
+        survive the crash; they are dropped from the dirty set (their
+        space returns to the pool) so recovery cannot flush them.  Unarmed
+        caches return ``[]`` — the battery held, everything survived.
+        """
+        if self._degrade is None:
+            return []
+        fraction, seed = self._degrade
+        self._degrade = None
+        rng = random.Random(f"nvram-degrade/{seed}")
+        lost: List[Tuple[int, int]] = []
+        kept: List[Tuple[int, int]] = []
+        for start, end in self._dirty:
+            if rng.random() < fraction:
+                lost.append((start, end))
+            else:
+                kept.append((start, end))
+        self._dirty = kept
+        freed = sum(end - start for start, end in lost)
+        if freed:
+            self._free.put(freed)
+        return lost
 
     # -- internals ----------------------------------------------------------
 

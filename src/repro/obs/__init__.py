@@ -32,9 +32,11 @@ from repro.obs.span import (
     PHASE_NVRAM_COPY,
     PHASE_PARKED,
     PHASE_PROCRASTINATE,
+    PHASE_REPAIR,
     PHASE_REPLICATE,
     PHASE_REPLY,
     PHASE_RPC,
+    PHASE_SCRUB,
     PHASE_SHED,
     PHASE_SOCKBUF,
     PHASE_VNODE_WAIT,
@@ -71,5 +73,7 @@ __all__ = [
     "PHASE_FAULT",
     "PHASE_SHED",
     "PHASE_REPLICATE",
+    "PHASE_SCRUB",
+    "PHASE_REPAIR",
     "RPC_PHASES",
 ]

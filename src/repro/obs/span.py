@@ -33,6 +33,8 @@ __all__ = [
     "PHASE_FAULT",
     "PHASE_SHED",
     "PHASE_REPLICATE",
+    "PHASE_SCRUB",
+    "PHASE_REPAIR",
     "RPC_PHASES",
 ]
 
@@ -69,6 +71,12 @@ PHASE_SHED = "overload.shed"
 #: One replicated-commit round trip (repro.replica): local data is stable,
 #: the parked reply waits for ``quorum`` backups to ack stable storage.
 PHASE_REPLICATE = "replica.commit"
+#: One background scrub pass over a shard's referenced blocks
+#: (repro.integrity); ``attrs`` carry blocks scanned and defects found.
+PHASE_SCRUB = "scrub.pass"
+#: One block repair (peer fetch + local rewrite); ``attrs`` carry the
+#: block address and the peer that served the verified copy.
+PHASE_REPAIR = "scrub.repair"
 
 #: The per-request phases the percentile summary reports by default.
 RPC_PHASES = (

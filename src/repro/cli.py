@@ -572,6 +572,54 @@ def build_parser() -> argparse.ArgumentParser:
     scrub_cmd.add_argument(
         "--json", action="store_true", help="emit the full report as JSON"
     )
+
+    tiering_cmd = subparsers.add_parser(
+        "tiering",
+        help="heterogeneous-tier placement sweep + crash-safe migration "
+        "storm (repro.tiering)",
+        description=(
+            "Run the Zipf-hot multi-tenant append workload against an "
+            "all-cold fleet (the baseline) and against a mixed fleet "
+            "whose hot tier carries Presto NVRAM, once per placement "
+            "policy.  Then replay it with replication while a "
+            "MigrationEngine live-demotes the hottest files hot->cold "
+            "under injected shard crashes, a network partition, and "
+            "replica promotions timed to land mid-copy.  The migration "
+            "contract — every acked range satisfiable at exactly one "
+            "authoritative location — is checked at every fault and at "
+            "quiesce.  Exits 1 on any oracle violation."
+        ),
+    )
+    tiering_cmd.add_argument("--seed", type=int, default=0)
+    tiering_cmd.add_argument(
+        "--tenants", type=int, default=6, help="tenant clients (default: 6)"
+    )
+    tiering_cmd.add_argument(
+        "--files-per-tenant", type=int, default=4, help="files each (default: 4)"
+    )
+    tiering_cmd.add_argument(
+        "--ops", type=int, default=48, help="appends per tenant (default: 48)"
+    )
+    tiering_cmd.add_argument(
+        "--skew",
+        type=float,
+        default=1.1,
+        help="per-tenant Zipf skew; 0 = uniform (default: 1.1)",
+    )
+    tiering_cmd.add_argument(
+        "--policies",
+        nargs="+",
+        default=None,
+        metavar="POLICY",
+        help="placement policies to sweep (default: hash mfs least-load "
+        "hot-first)",
+    )
+    tiering_cmd.add_argument(
+        "--out", help="also write the canonical JSON report to this file"
+    )
+    tiering_cmd.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
     return parser
 
 
@@ -1218,6 +1266,69 @@ def _cmd_scrub(args) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_tiering(args) -> int:
+    from repro.tiering.experiment import POLICY_NAMES, TieringConfig
+
+    try:
+        config = TieringConfig(
+            seed=args.seed,
+            tenants=args.tenants,
+            files_per_tenant=args.files_per_tenant,
+            ops_per_tenant=args.ops,
+            skew=args.skew,
+            policies=tuple(args.policies) if args.policies else POLICY_NAMES,
+        )
+    except ValueError as exc:
+        print(f"tiering: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(arm) -> None:
+        if args.json:
+            return
+        if isinstance(arm, dict):  # the storm report
+            print(
+                f"  storm: {arm['completed']}/{arm['started']} migrations, "
+                f"{arm['crashes']} crashes, {arm['promotions']} promotions "
+                f"[{'clean' if arm['clean'] else 'DIRTY'}]"
+            )
+            return
+        latency = arm.write_latency_ms
+        print(
+            f"  {arm.fleet:<8} {arm.policy:<10} "
+            f"p50 {latency['p50']:>8.2f} ms  p99 {latency['p99']:>8.2f} ms  "
+            f"{arm.placement['files_by_tier']} "
+            f"[{'clean' if arm.clean else 'DIRTY'}]"
+        )
+
+    if not args.json:
+        print(
+            f"tiering: {config.tenants} tenants x {config.files_per_tenant} "
+            f"files x {config.ops_per_tenant} appends, skew {config.skew}, "
+            f"seed {config.seed}"
+        )
+    result = run(ExperimentSpec(kind="tiering", config=config, progress=progress))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(result.to_json())
+            handle.write("\n")
+        if not args.json:
+            print(f"wrote {args.out}")
+    if args.json:
+        print(result.to_json())
+    else:
+        verdict = "beats" if result.hot_beats_cold else "DOES NOT BEAT"
+        print(f"  mixed fleet {verdict} all-cold on p99 write latency")
+        if result.clean:
+            print("  migration contract held: zero violations")
+        else:
+            for arm in result.arms:
+                for violation in arm.violations:
+                    print(f"    {violation}")
+            for violation in result.storm.get("violations", []):
+                print(f"    {violation}")
+    return 0 if result.clean else 1
+
+
 def _cmd_bench(args) -> int:
     from repro.experiments.bench import bench_to_json, write_bench
 
@@ -1274,6 +1385,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache": _cmd_cache,
         "commit": _cmd_commit,
         "scrub": _cmd_scrub,
+        "tiering": _cmd_tiering,
     }
     return handlers[args.command](args)
 

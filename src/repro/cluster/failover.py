@@ -133,11 +133,17 @@ class FailoverController:
             self.oracle.check(f"shard-crash#{self.crashes}")
         redirected = False
         redirect_skipped = False
+        # The ring holds *logical* shard names; after a promotion the
+        # acting primary is a backup host that was never a ring member,
+        # so redirect must add/remove the logical name, not server.host.
+        logical = self.cluster.servers[crash.shard].host
+        ring_weight = 1.0
         if crash.outage > 0:
             segment.partition(server.host)
             if crash.redirect:
                 if len(self.cluster.shard_map) > 1:
-                    self.cluster.shard_map.remove_server(server.host)
+                    ring_weight = self.cluster.shard_map.weight_of(logical)
+                    self.cluster.shard_map.remove_server(logical)
                     redirected = True
                 else:
                     # A 1-shard map cannot lose its only server; record the
@@ -146,7 +152,7 @@ class FailoverController:
             yield self.env.timeout(crash.outage)
             segment.heal(server.host)
             if redirected:
-                self.cluster.shard_map.add_server(server.host)
+                self.cluster.shard_map.add_server(logical, weight=ring_weight)
         record = {
             "kind": "shard_crash",
             "shard": crash.shard,

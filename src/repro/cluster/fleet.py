@@ -88,9 +88,21 @@ class ClusterConfig:
     #: Memory-pressure ceiling for the async_commit path (repro.commit);
     #: None = the ServerConfig default (512 KB).
     unstable_limit_bytes: Optional[int] = None
+    #: Heterogeneous tiers (repro.tiering): a sequence of
+    #: :class:`~repro.tiering.tiers.TierConfig` hardware classes.  When
+    #: set, ``servers`` is derived (the sum of tier shard counts), each
+    #: shard gets its tier's storage stack (NVRAM, spindles, volume
+    #: size), and the ring is capacity-weighted.  None = a homogeneous
+    #: fleet from the flat fields above.
+    tiers: Optional[List] = None
 
     def __post_init__(self) -> None:
         self.write_path = WritePath.coerce(self.write_path)
+        if self.tiers:
+            names = [tier.name for tier in self.tiers]
+            if len(set(names)) != len(names):
+                raise ValueError(f"duplicate tier names: {names}")
+            self.servers = sum(tier.shards for tier in self.tiers)
         if self.servers < 1:
             raise ValueError(f"need at least one server, got {self.servers}")
         if not 1 <= self.racks <= self.servers:
@@ -146,6 +158,15 @@ class Cluster:
             )
             for rack in range(config.racks)
         ]
+        #: Per-shard tier spec, parallel to shard indices (None entries
+        #: for a homogeneous fleet) and host -> tier-name lookup.
+        self._tier_specs: List = []
+        self.tier_of: Dict[str, str] = {}
+        if config.tiers:
+            for tier in config.tiers:
+                self._tier_specs.extend([tier] * tier.shards)
+        else:
+            self._tier_specs = [None] * config.servers
         self.servers: List[NfsServer] = []
         #: Per-shard spindles, parallel to ``servers``.
         self.disks: List[List[DiskDevice]] = []
@@ -158,42 +179,70 @@ class Cluster:
         for index in range(config.servers):
             server = self._build_server(index)
             self._build_group(index, server)
+        weights = None
+        if config.tiers:
+            weights = {
+                server.host: spec.effective_weight
+                for server, spec in zip(self.servers, self._tier_specs)
+            }
         self.shard_map = ShardMap(
             [server.host for server in self.servers],
             vnodes=config.vnodes,
             seed=config.seed,
+            weights=weights,
         )
         self.router = MountRouter(self.shard_map, root_fhandle=(ROOT_INO, 0))
         self.clients: List[NfsClient] = []
 
     # -- construction -------------------------------------------------------------
 
-    def _build_server(self, index: int) -> NfsServer:
+    def _tier_spec(self, index: int):
+        if index < len(self._tier_specs):
+            return self._tier_specs[index]
+        return None
+
+    def _shard_hardware(self, index: int) -> tuple:
+        """(presto_bytes, disk_spec, stripes, fs_bytes-or-None) for shard
+        ``index`` — the tier's hardware class, or the flat config."""
         config = self.config
-        rack = index % config.racks
-        host = f"server-{index}"
+        tier = self._tier_spec(index)
+        if tier is None:
+            return config.presto_bytes, config.disk_spec, config.stripes, None
+        return tier.presto_bytes, tier.disk_spec, tier.stripes, tier.fs_bytes
+
+    def _build_storage(
+        self, index: int, name_infix: str
+    ) -> "tuple[List[DiskDevice], Storage]":
+        presto_bytes, disk_spec, stripes, _fs_bytes = self._shard_hardware(index)
         disks = [
             DiskDevice(
                 self.env,
-                config.disk_spec,
-                name=f"{config.disk_spec.name}-s{index}-{spindle}",
+                disk_spec,
+                name=f"{disk_spec.name}-s{index}{name_infix}-{spindle}",
             )
-            for spindle in range(config.stripes)
+            for spindle in range(stripes)
         ]
         base: Storage
-        if config.stripes > 1:
+        if stripes > 1:
             base = StripeSet(self.env, disks)
         else:
             base = disks[0]
         storage: Storage = (
-            PrestoCache(self.env, base, capacity=config.presto_bytes)
-            if config.presto_bytes
+            PrestoCache(self.env, base, capacity=presto_bytes)
+            if presto_bytes
             else base
         )
+        return disks, storage
+
+    def _server_config(self, index: int) -> ServerConfig:
+        config = self.config
         extra = {}
         if config.unstable_limit_bytes is not None:
             extra["unstable_limit_bytes"] = config.unstable_limit_bytes
-        server_config = ServerConfig(
+        fs_bytes = self._shard_hardware(index)[3]
+        if fs_bytes is not None:
+            extra["fs_bytes"] = fs_bytes
+        return ServerConfig(
             nfsds=config.nfsds,
             write_path=config.write_path,
             gather_policy=config.gather_policy,
@@ -203,16 +252,27 @@ class Cluster:
             lease_ttl=config.lease_ttl,
             **extra,
         )
+
+    def _build_server(self, index: int) -> NfsServer:
+        from repro.tiering.engine import ShardMigrator
+
+        config = self.config
+        rack = index % config.racks
+        host = f"server-{index}"
+        disks, storage = self._build_storage(index, "")
         server = NfsServer(
             self.env,
             self.segments[rack],
             storage,
             host=host,
-            config=server_config,
+            config=self._server_config(index),
         )
+        ShardMigrator(server)
         self.servers.append(server)
         self.disks.append(disks)
         self._rack_of_server[host] = rack
+        tier = self._tier_spec(index)
+        self.tier_of[host] = tier.name if tier is not None else "default"
         return server
 
     def _build_group(self, index: int, primary: NfsServer) -> None:
@@ -227,6 +287,7 @@ class Cluster:
         the primary's starts active.
         """
         from repro.replica.group import ReplicaGroup
+        from repro.tiering.engine import ShardMigrator
         from repro.replica.replicator import Replicator
 
         config = self.config
@@ -235,50 +296,19 @@ class Cluster:
         shard_backup_disks: List[List[DiskDevice]] = []
         for backup_index in range(config.replicas):
             host = f"{primary.host}.b{backup_index + 1}"
-            disks = [
-                DiskDevice(
-                    self.env,
-                    config.disk_spec,
-                    name=(
-                        f"{config.disk_spec.name}-s{index}"
-                        f"b{backup_index + 1}-{spindle}"
-                    ),
-                )
-                for spindle in range(config.stripes)
-            ]
-            base: Storage
-            if config.stripes > 1:
-                base = StripeSet(self.env, disks)
-            else:
-                base = disks[0]
-            storage: Storage = (
-                PrestoCache(self.env, base, capacity=config.presto_bytes)
-                if config.presto_bytes
-                else base
-            )
-            extra = {}
-            if config.unstable_limit_bytes is not None:
-                extra["unstable_limit_bytes"] = config.unstable_limit_bytes
-            server_config = ServerConfig(
-                nfsds=config.nfsds,
-                write_path=config.write_path,
-                gather_policy=config.gather_policy,
-                verify_stable=config.verify_stable,
-                cpu_scale=config.cpu_scale,
-                ino_base=(index + 1) * INO_STRIDE,
-                lease_ttl=config.lease_ttl,
-                **extra,
-            )
+            disks, storage = self._build_storage(index, f"b{backup_index + 1}")
             backup = NfsServer(
                 self.env,
                 self.segments[rack],
                 storage,
                 host=host,
-                config=server_config,
+                config=self._server_config(index),
             )
+            ShardMigrator(backup)
             members.append(backup)
             shard_backup_disks.append(disks)
             self._rack_of_server[host] = rack
+            self.tier_of[host] = self.tier_of[primary.host]
         group = ReplicaGroup(index=index, logical_host=primary.host, members=members)
         if config.replicas > 0:
             for member in members:

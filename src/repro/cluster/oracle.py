@@ -25,8 +25,19 @@ class ClusterOracle:
         self.cluster = cluster
         self.env = cluster.env
         self._per_shard: Dict[str, Oracle] = {}
+        #: Extra contract checks (repro.tiering's migration contract):
+        #: each is called with the check label inside :meth:`check`, so
+        #: every fault check and the final check walk them for free.
+        self._extra_checks: List = []
+        #: Violations those extra checks found, in detection order.
+        self.extra_violations: List[str] = []
         for server in cluster.servers:
             self._oracle_for(server.host)
+
+    def add_check(self, check) -> None:
+        """Register ``check(label) -> List[str]`` to run at every check
+        point (shard crashes, quiesce, final)."""
+        self._extra_checks.append(check)
 
     def _oracle_for(self, host: str) -> Oracle:
         oracle = self._per_shard.get(host)
@@ -74,6 +85,37 @@ class ClusterOracle:
         client.on_commit_acked = record_commit
         client.on_read_acked = record_read
 
+    def transfer_ino(self, ino: int, src_host: str, dst_host: str) -> None:
+        """Hand one file's bookkeeping to another shard (live migration).
+
+        Called in the cutover instant, right after the router's pins
+        repoint: the acked image, its mask, and any still-uncommitted
+        pending ranges now describe a promise the *destination* must
+        keep, and future checks assert them against its durable state.
+        """
+        src = self._oracle_for(src_host)
+        dst = self._oracle_for(dst_host)
+        image = src._images.pop(ino, None)
+        mask = src._acked.pop(ino, None)
+        pending = src._pending.pop(ino, None)
+        if image is not None:
+            dst._images[ino] = image
+        if mask is not None:
+            dst._acked[ino] = mask
+        if pending:
+            dst._pending.setdefault(ino, []).extend(pending)
+
+    def holders_of(self, ino: int) -> List[str]:
+        """Shards currently tracking acked or pending ranges for ``ino``
+        (the migration contract wants exactly one, ever)."""
+        holders = []
+        for host in sorted(self._per_shard):
+            oracle = self._per_shard[host]
+            mask = oracle._acked.get(ino)
+            if (mask is not None and any(mask)) or oracle._pending.get(ino):
+                holders.append(host)
+        return holders
+
     def note_fault(self, record: dict) -> None:
         """Triage context: every shard oracle learns the latest fault, so
         violation messages can name what provoked them."""
@@ -104,6 +146,10 @@ class ClusterOracle:
             else:
                 new = oracle.check(label)
             found.extend(f"{server.host}: {violation}" for violation in new)
+        for check in self._extra_checks:
+            extra = check(label)
+            self.extra_violations.extend(extra)
+            found.extend(extra)
         return found
 
     def _group_for(self, index: int):
@@ -188,8 +234,11 @@ class ClusterOracle:
                 f"{host}: {violation}"
                 for violation in self._per_shard[host].violations
             )
+        out.extend(self.extra_violations)
         return out
 
     @property
     def clean(self) -> bool:
-        return all(oracle.clean for oracle in self._per_shard.values())
+        return not self.extra_violations and all(
+            oracle.clean for oracle in self._per_shard.values()
+        )

@@ -40,6 +40,25 @@ _NAME_PROCS = frozenset((PROC_LOOKUP, PROC_CREATE, PROC_REMOVE, PROC_SYMLINK))
 _PINNING_PROCS = frozenset((PROC_LOOKUP, PROC_CREATE, PROC_SYMLINK))
 
 
+class _RouteState:
+    """Mutable (logical, destination) pair shared with the route hook."""
+
+    __slots__ = ("logical", "destination")
+
+    def __init__(self, logical: str, destination: str) -> None:
+        self.logical = logical
+        self.destination = destination
+
+
+class _RackMove(Exception):
+    """A per-attempt re-resolution crossed racks; restart the transport."""
+
+    def __init__(self, logical: str, destination: str) -> None:
+        super().__init__(f"route moved to {destination} on another rack")
+        self.logical = logical
+        self.destination = destination
+
+
 class MountRouter:
     """Resolves (proc, args) to a server host from the shard map + pins."""
 
@@ -51,14 +70,28 @@ class MountRouter:
         self.root_fhandle = root_fhandle
         #: File handle -> shard host, bound at namespace-reply time.
         self._fhandle_pins: Dict[FileHandle, str] = {}
-        #: Name -> shard host overrides (currently only RENAME creates
-        #: these: the destination name stays on the source's shard).
+        #: Name -> shard host overrides: RENAME creates these (the
+        #: destination name stays on the source's shard), and so does a
+        #: placement policy (the chosen shard differs from the map's hash
+        #: choice, so later LOOKUPs must follow the decision).
         self._name_pins: Dict[str, str] = {}
         #: Logical shard name -> acting physical host (repro.replica).
         #: Promotion repoints a whole replica group with one entry: the
         #: ring arcs and every pinned handle keep the *logical* name, and
         #: only the transport destination changes.
         self._aliases: Dict[str, str] = {}
+        #: Create-time placement policy (repro.tiering); None = pure map.
+        self.placement = None
+
+    def set_placement(self, policy) -> None:
+        """Install a create-time placement policy (``place(name) -> host``).
+
+        The decision is *sticky*: the moment a CREATE/SYMLINK routes
+        through the policy, the name is pinned to the chosen shard — so a
+        retransmitted or re-routed create can never land on a second shard
+        just because free space or load shifted between attempts.
+        """
+        self.placement = policy
 
     # -- resolution --------------------------------------------------------------
 
@@ -86,6 +119,14 @@ class MountRouter:
     def route(self, proc: str, args) -> str:
         """The destination host for one call."""
         if proc in _NAME_PROCS:
+            if (
+                self.placement is not None
+                and proc in (PROC_CREATE, PROC_SYMLINK)
+                and args.name not in self._name_pins
+            ):
+                chosen = self.placement.place(args.name)
+                self._name_pins[args.name] = chosen
+                return chosen
             return self.server_for_name(args.name)
         if proc == PROC_RENAME:
             return self.server_for_name(args.src_name)
@@ -137,6 +178,20 @@ class MountRouter:
     def aliases(self) -> Dict[str, str]:
         """A copy of the promotion alias table (diagnostics/tests)."""
         return dict(self._aliases)
+
+    # -- live-migration cutover ----------------------------------------------------
+
+    def migrate_pin(self, fhandle: FileHandle, name: str, logical: str) -> None:
+        """Atomically repoint one file at a new shard (repro.tiering).
+
+        The cutover instant of a live migration: every client-held handle
+        for the file, and the name itself, now resolve to ``logical``.
+        One shared router per cluster means this is a single RPC-free
+        state change — no client round-trips, the BuffetFS property the
+        migration protocol is built around.
+        """
+        self._fhandle_pins[fhandle] = logical
+        self._name_pins[name] = logical
 
 
 class ClusterRpc:
@@ -213,16 +268,37 @@ class ClusterRpc:
     ) -> Generator:
         """Route, delegate, and learn pins from the reply.
 
-        With a per-shard retry budget, a call that exhausts it against one
-        shard re-resolves its route: if the map has since redirected the
-        name (failover moved the dead shard's arcs), the call moves to the
-        new shard with a fresh budget; if the route is unchanged, the
-        timeout is terminal and propagates (soft-mount semantics).
+        The route is re-resolved before **every** transmission (the
+        transport's per-attempt ``route`` hook): a promotion repoint or a
+        live-migration cutover that lands mid-retry redirects the very
+        next retransmission instead of burning the rest of the failover
+        budget against the old shard.  A re-resolution that crosses racks
+        restarts the call on the right transport.  A call that exhausts
+        its whole budget without the route changing surfaces the timeout
+        (soft-mount semantics).
         """
         logical = server or self.router.route(proc, args)
         destination = self.router.resolve(logical)
         while True:
             rpc = self.transport_for(destination)
+            rack = self._rack_of_server.get(destination, 0)
+            state = _RouteState(logical, destination)
+
+            def reroute(state=state, rack=rack):
+                relogical = server or self.router.route(proc, args)
+                rerouted = self.router.resolve(relogical)
+                if rerouted != state.destination:
+                    if self._rack_of_server.get(rerouted, 0) != rack:
+                        # The new destination lives on another rack: this
+                        # transport cannot reach it — unwind and restart
+                        # the call on the right endpoint.
+                        raise _RackMove(relogical, rerouted)
+                    if self.on_reroute is not None:
+                        self.on_reroute(relogical, rerouted)
+                    state.logical = relogical
+                    state.destination = rerouted
+                return state.destination
+
             try:
                 reply = yield from rpc.call(
                     proc,
@@ -232,14 +308,21 @@ class ClusterRpc:
                     weight=weight,
                     server=destination,
                     max_attempts=self.failover_attempts,
+                    route=reroute,
                 )
+                logical = state.logical
+            except _RackMove as move:
+                if self.on_reroute is not None:
+                    self.on_reroute(move.logical, move.destination)
+                logical, destination = move.logical, move.destination
+                continue
             except RpcTimeoutError:
-                # Re-resolve both layers: the map may have redirected the
-                # name (failover), or the alias table may have repointed
-                # the shard at a promoted backup.
+                # Terminal only if the route is *still* unchanged: the
+                # per-attempt hook already chased same-rack moves, but a
+                # repoint can land in the gap after the final timeout.
                 relogical = server or self.router.route(proc, args)
                 rerouted = self.router.resolve(relogical)
-                if rerouted != destination:
+                if rerouted != state.destination:
                     if self.on_reroute is not None:
                         self.on_reroute(relogical, rerouted)
                     logical, destination = relogical, rerouted

@@ -14,14 +14,20 @@ Properties the cluster (and its property tests) rely on:
   around ``keys / servers``;
 * **Minimal movement** — adding or removing one server only remaps the
   keys that land in that server's ring arcs; everything else stays put,
-  which is what makes grow/shrink (and crash redirect) cheap.
+  which is what makes grow/shrink (and crash redirect) cheap;
+* **Capacity weighting** (repro.tiering) — a server's ring-point count
+  scales with its weight (weight ∝ tier capacity), and *reweighting* a
+  server only adds or removes that server's own points: point labels are
+  stable ``"{server}#{k}"`` for ``k < count``, so growing a weight adds
+  new arcs (keys move *to* the server) and shrinking removes existing
+  arcs (keys move *from* it) — never a third party's keys.
 """
 
 from __future__ import annotations
 
 import hashlib
 from bisect import bisect_right
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = ["ShardMap"]
 
@@ -37,7 +43,13 @@ def _point(seed: int, label: str) -> int:
 class ShardMap:
     """Stable-hash placement of string keys onto a set of servers."""
 
-    def __init__(self, servers: Sequence[str], vnodes: int = 64, seed: int = 0) -> None:
+    def __init__(
+        self,
+        servers: Sequence[str],
+        vnodes: int = 64,
+        seed: int = 0,
+        weights: Optional[Mapping[str, float]] = None,
+    ) -> None:
         if not servers:
             raise ValueError("a shard map needs at least one server")
         if len(set(servers)) != len(servers):
@@ -49,8 +61,11 @@ class ShardMap:
         #: (position, server) ring points, sorted by position.
         self._ring: List[Tuple[int, str]] = []
         self._servers: List[str] = []
+        #: Per-server capacity weight; 1.0 = the nominal ``vnodes`` points.
+        self._weights: Dict[str, float] = {}
+        weights = weights or {}
         for server in servers:
-            self.add_server(server)
+            self.add_server(server, weight=weights.get(server, 1.0))
 
     # -- membership -------------------------------------------------------------
 
@@ -65,17 +80,35 @@ class ShardMap:
     def __contains__(self, server: str) -> bool:
         return server in self._servers
 
-    def _points_for(self, server: str) -> List[Tuple[int, str]]:
+    def weight_of(self, server: str) -> float:
+        """The server's capacity weight (1.0 = nominal)."""
+        if server not in self._servers:
+            raise ValueError(f"server {server!r} not in the map")
+        return self._weights[server]
+
+    def vnode_count(self, server: str) -> int:
+        """Ring points ``server`` contributes at its current weight."""
+        return self._count_for(self._weights.get(server, 1.0))
+
+    def _count_for(self, weight: float) -> int:
+        return max(1, round(self.vnodes * weight))
+
+    def _points_for(self, server: str, count: Optional[int] = None) -> List[Tuple[int, str]]:
+        if count is None:
+            count = self.vnode_count(server)
         return [
             (_point(self.seed, f"{server}#{vnode}"), server)
-            for vnode in range(self.vnodes)
+            for vnode in range(count)
         ]
 
-    def add_server(self, server: str) -> None:
+    def add_server(self, server: str, weight: float = 1.0) -> None:
         """Join ``server``; only keys in its new arcs move to it."""
         if server in self._servers:
             raise ValueError(f"server {server!r} already in the map")
+        if weight <= 0:
+            raise ValueError(f"weight must be > 0, got {weight}")
         self._servers.append(server)
+        self._weights[server] = weight
         self._ring.extend(self._points_for(server))
         self._ring.sort()
 
@@ -86,7 +119,40 @@ class ShardMap:
         if len(self._servers) == 1:
             raise ValueError("cannot remove the last server")
         self._servers.remove(server)
+        self._weights.pop(server, None)
         self._ring = [pt for pt in self._ring if pt[1] != server]
+
+    def set_weight(self, server: str, weight: float) -> None:
+        """Reweight ``server`` in place, moving the minimum set of keys.
+
+        Point labels are the stable ``"{server}#{k}"`` prefix, so a
+        heavier weight appends points ``[old_count, new_count)`` (keys
+        move only *to* the server) and a lighter weight strips points
+        ``[new_count, old_count)`` (keys move only *from* it, to their
+        arc successors).  No key between two other servers ever moves.
+        """
+        if server not in self._servers:
+            raise ValueError(f"server {server!r} not in the map")
+        if weight <= 0:
+            raise ValueError(f"weight must be > 0, got {weight}")
+        old_count = self.vnode_count(server)
+        self._weights[server] = weight
+        new_count = self._count_for(weight)
+        if new_count > old_count:
+            self._ring.extend(
+                (_point(self.seed, f"{server}#{vnode}"), server)
+                for vnode in range(old_count, new_count)
+            )
+            self._ring.sort()
+        elif new_count < old_count:
+            dropped = {
+                _point(self.seed, f"{server}#{vnode}")
+                for vnode in range(new_count, old_count)
+            }
+            self._ring = [
+                pt for pt in self._ring
+                if not (pt[1] == server and pt[0] in dropped)
+            ]
 
     # -- placement ---------------------------------------------------------------
 
@@ -111,9 +177,14 @@ class ShardMap:
 
     def describe(self) -> dict:
         """A JSON-ready summary (stable ordering)."""
-        return {
+        summary = {
             "servers": list(self._servers),
             "vnodes": self.vnodes,
             "seed": self.seed,
             "ring_points": len(self._ring),
         }
+        if any(weight != 1.0 for weight in self._weights.values()):
+            summary["weights"] = {
+                server: self._weights[server] for server in self._servers
+            }
+        return summary

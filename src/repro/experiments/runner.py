@@ -31,6 +31,7 @@ replica  the K-replication cost + promote-storm sweep         ReplicaRunResult
 cache    the lease-cache TTL × sharing sweep + chaos probes   CacheReport
 commit   the async WRITE+COMMIT three-way comparison + probes CommitReport
 scrub    the integrity sweep: corruption × bandwidth × K      ScrubRunResult
+tiering  the placement-policy sweep + migration storm         TieringRunResult
 ======== ==================================================== =====================
 
 The old per-subsystem entry points (``run_cluster``, ``run_scaling_sweep``,
@@ -67,6 +68,7 @@ EXPERIMENT_KINDS = (
     "cache",
     "commit",
     "scrub",
+    "tiering",
 )
 
 #: Per-kind workload-size defaults for :attr:`ExperimentSpec.file_kb`.
@@ -113,6 +115,10 @@ class ExperimentSpec:
     * ``scrub``    — ``config`` (a
       :class:`~repro.integrity.experiment.ScrubConfig`; defaults to
       ``ScrubConfig(seed=spec.seed)``), ``progress``
+    * ``tiering``  — ``config`` (a
+      :class:`~repro.tiering.experiment.TieringConfig`; defaults to
+      ``TieringConfig(seed=spec.seed, skew=spec.skew)``), ``skew``,
+      ``progress``
     """
 
     kind: str
@@ -155,6 +161,9 @@ class ExperimentSpec:
     client_counts: Optional[Sequence[int]] = None
     replica_counts: Sequence[int] = (0, 1, 2)
     storm_crashes: int = 3
+    #: Per-tenant Zipf skew for kind="tiering" (ignored when a
+    #: TieringConfig is passed explicitly).
+    skew: float = 1.1
 
     def __post_init__(self) -> None:
         if self.kind not in EXPERIMENT_KINDS:
@@ -277,6 +286,15 @@ def run(spec: ExperimentSpec):
 
         config = spec.config if spec.config is not None else ScrubConfig(seed=spec.seed)
         return run_scrub(config, progress=spec.progress)
+    if spec.kind == "tiering":
+        from repro.tiering.experiment import TieringConfig, run_tiering
+
+        config = (
+            spec.config
+            if spec.config is not None
+            else TieringConfig(seed=spec.seed, skew=spec.skew)
+        )
+        return run_tiering(config, progress=spec.progress)
     if spec.kind == "replica":
         from repro.replica.experiment import _run_replica
 

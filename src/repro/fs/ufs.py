@@ -109,6 +109,11 @@ class Ufs:
         self.inodes: Dict[int, Inode] = {}
         self._next_ino = ROOT_INO
         self._in_flight_data: Dict[int, List[Event]] = {}
+        #: Write observer (repro.tiering): called as ``(ino, offset, length)``
+        #: the instant any data lands in the cache — the single funnel every
+        #: write path shares, which is what makes migration delta tracking
+        #: exact.  None (the default) costs nothing.
+        self.on_write = None
         root = self._new_inode(FileType.DIRECTORY)
         assert root.ino == ROOT_INO
         self.root = root
@@ -239,6 +244,8 @@ class Ufs:
             touched.append(addr)
             pos += take
 
+        if self.on_write is not None:
+            self.on_write(inode.ino, offset, len(data))
         if offset + len(data) > inode.size:
             inode.size = offset + len(data)
             grew_structure = True
@@ -487,6 +494,38 @@ class Ufs:
             raise FsError("EEXIST", name)
         yield from self._charge(self.costs.ufs_trip + self.costs.namei)
         inode = self._new_inode(ftype, ino=ino)
+        directory.entries[name] = inode.ino
+        directory.mtime = self.env.now
+        self._mark_meta_dirty(directory)
+        self._mark_meta_dirty(inode)
+        yield from self._write_inode_sync(inode)
+        yield from self._write_inode_sync(directory)
+        return inode
+
+    def adopt_inode(
+        self, directory: Inode, name: str, ino: int, generation: int
+    ) -> Generator:
+        """Create ``name`` under a *foreign* inode number (live migration).
+
+        Same cost and durability as :meth:`create`, with two differences:
+        the inode's generation is pinned (client-held file handles must
+        survive the move verbatim), and the allocation counter is left
+        untouched — the adopted ino comes from another shard's range, and
+        letting ``_new_inode``'s replay bump stand would march this
+        shard's future allocations into that foreign range (fleet-wide
+        handle collisions, including on a later-promoted backup).
+        """
+        if directory.ftype != FileType.DIRECTORY:
+            raise FsError("ENOTDIR", f"inode {directory.ino} is not a directory")
+        if name in directory.entries:
+            raise FsError("EEXIST", name)
+        if ino in self.inodes:
+            raise FsError("EEXIST", f"inode {ino} already exists")
+        yield from self._charge(self.costs.ufs_trip + self.costs.namei)
+        saved_next = self._next_ino
+        inode = self._new_inode(FileType.FILE, ino=ino)
+        self._next_ino = saved_next
+        inode.generation = generation
         directory.entries[name] = inode.ino
         directory.mtime = self.env.now
         self._mark_meta_dirty(directory)

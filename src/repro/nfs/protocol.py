@@ -35,6 +35,14 @@ __all__ = [
     "PROC_CB_RECALL",
     "PROC_LEASE_RENEW",
     "PROC_SCRUB_FETCH",
+    "PROC_MIGRATE_BEGIN",
+    "PROC_MIGRATE_READ",
+    "PROC_MIGRATE_DELTA",
+    "PROC_MIGRATE_PARK",
+    "PROC_MIGRATE_ABORT",
+    "PROC_MIGRATE_PREPARE",
+    "PROC_MIGRATE_WRITE",
+    "PROC_MIGRATE_PURGE",
     "WEIGHT_OF",
     "Fattr",
     "RecallArgs",
@@ -89,6 +97,23 @@ PROC_LEASE_RENEW = "lease_renew"
 #: peer for one verified block to repair a corrupt/latent local copy.
 #: Never sent by NFS clients; shares the replica RPC transport.
 PROC_SCRUB_FETCH = "scrub_fetch"
+#: Live-migration procedures (repro.tiering): the MigrationEngine moves
+#: one file between shards with copy-then-cutover.  BEGIN starts source
+#: dirty tracking, READ fetches a snapshot range, DELTA rotates one round
+#: of dirtied ranges, PARK freezes the file (mutating replies abandoned
+#: from this instant) and returns the final delta plus the file's recent
+#: dup-cache entries, ABORT unparks.  PREPARE/WRITE build the copy on the
+#: destination (same ino + generation, so client-held handles survive the
+#: repoint); PURGE removes a shard's copy (destination abort cleanup, or
+#: the source's post-cutover copy).  Never sent by NFS clients.
+PROC_MIGRATE_BEGIN = "migrate_begin"
+PROC_MIGRATE_READ = "migrate_read"
+PROC_MIGRATE_DELTA = "migrate_delta"
+PROC_MIGRATE_PARK = "migrate_park"
+PROC_MIGRATE_ABORT = "migrate_abort"
+PROC_MIGRATE_PREPARE = "migrate_prepare"
+PROC_MIGRATE_WRITE = "migrate_write"
+PROC_MIGRATE_PURGE = "migrate_purge"
 
 #: Client backoff class per procedure (§4.1).
 WEIGHT_OF = {
@@ -111,6 +136,14 @@ WEIGHT_OF = {
     PROC_CB_RECALL: CLASS_LIGHT,
     PROC_LEASE_RENEW: CLASS_LIGHT,
     PROC_SCRUB_FETCH: CLASS_MEDIUM,
+    PROC_MIGRATE_BEGIN: CLASS_LIGHT,
+    PROC_MIGRATE_READ: CLASS_MEDIUM,
+    PROC_MIGRATE_DELTA: CLASS_LIGHT,
+    PROC_MIGRATE_PARK: CLASS_MEDIUM,
+    PROC_MIGRATE_ABORT: CLASS_LIGHT,
+    PROC_MIGRATE_PREPARE: CLASS_LIGHT,
+    PROC_MIGRATE_WRITE: CLASS_HEAVY,
+    PROC_MIGRATE_PURGE: CLASS_LIGHT,
 }
 
 

@@ -32,6 +32,7 @@ from typing import Dict, Generator, List, Optional
 from repro.fs.ufs import FsError
 from repro.nfs.protocol import (
     PROC_CREATE,
+    PROC_MIGRATE_PREPARE,
     PROC_REMOVE,
     PROC_RENAME,
     PROC_REPLICATE,
@@ -349,6 +350,14 @@ class Replicator:
             else:
                 inode = yield from ufs.create(directory, op.name, ino=op.ino)
             inode.generation = op.generation
+        elif op.proc == PROC_MIGRATE_PREPARE:
+            # A migrated-in file (repro.tiering): adopt the foreign ino
+            # without disturbing this shard's allocation counter, so a
+            # promoted backup can still allocate collision-free handles.
+            directory = ufs.get_inode(op.dir_ino)
+            if op.name in directory.entries:
+                return
+            yield from ufs.adopt_inode(directory, op.name, op.ino, op.generation)
         elif op.proc == PROC_REMOVE:
             directory = ufs.get_inode(op.dir_ino)
             target = directory.entries.get(op.name)

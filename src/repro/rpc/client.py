@@ -168,6 +168,7 @@ class RpcClient:
         weight: str = CLASS_MEDIUM,
         server: str | None = None,
         max_attempts: int | None = None,
+        route=None,
     ) -> Generator:
         """Send a call and wait (retransmitting as needed) for its reply.
 
@@ -178,7 +179,12 @@ class RpcClient:
         :class:`RpcTimeoutError` (soft-mount semantics).  ``server``
         overrides the default destination host for this one call (a routed
         cluster client picks the file's shard here; retransmissions stay
-        on it).
+        on it).  ``route``, when given, is consulted before *every*
+        transmission — returning the destination for that attempt — so a
+        routed call follows an alias repoint (promotion, live migration)
+        mid-retry instead of burning its whole budget against the old
+        host; the xid and backoff schedule carry across the move, exactly
+        like a retransmission that happened to land on the new server.
         """
         xid = next(self._xids)
         trace = None
@@ -208,6 +214,8 @@ class RpcClient:
         started = self.env.now
         try:
             while True:
+                if route is not None:
+                    destination = route() or destination
                 self.endpoint.send(destination, call, call.size)
                 interval = self.policy.interval_for(
                     weight, call.attempt, self.endpoint.host, xid

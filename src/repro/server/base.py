@@ -128,6 +128,12 @@ class NfsServer:
         #: active, committed writes and namespace mutations must reach a
         #: quorum of backups before their replies are released.
         self.replicator = None
+        #: Live-migration agent (repro.tiering), installed by the cluster
+        #: on every member; None on standalone servers.  When a file is
+        #: parked for cutover (or moved and awaiting purge), the agent's
+        #: gates abandon its mutating requests and replies — the client
+        #: retransmits and the router lands the retry on the new shard.
+        self.migrator = None
         #: Lease layer (repro.lease): grants ride on replies, conflicting
         #: holders are recalled before mutations.  None = leases off.
         self.leases = None
@@ -233,6 +239,20 @@ class NfsServer:
             # fresh by the new incarnation.
             self.svc.abandon(handle)
             return
+        if (
+            self.migrator is not None
+            and handle.call is not None
+            and self.migrator.blocks(handle.call.proc, handle.call.args)
+        ):
+            # The file was parked for migration cutover while this reply
+            # was in flight (e.g. a gathered write descriptor): from the
+            # park instant this shard makes no more promises for it.  The
+            # mutation may have applied locally — harmless, the source
+            # copy is purged — but the *ack* must come from the new
+            # authority, via the client's retransmission.
+            self.svc.dup_cache.forget(handle.call)
+            self.svc.abandon(handle)
+            return
         yield from self.cpu.consume(
             (self.config.reply_cpu + self.spec.cpu_per_frame) * self.config.cpu_scale
         )
@@ -301,6 +321,16 @@ class NfsServer:
 
     def _dispatch(self, nfsd_id: int, handle: TransportHandle) -> Generator:
         proc = handle.call.proc
+        if self.migrator is not None and self.migrator.blocks(
+            proc, handle.call.args
+        ):
+            # The file is frozen for migration cutover: execute nothing,
+            # promise nothing.  Dropping the dup-cache registration lets
+            # the retransmission be served fresh — by this shard if the
+            # migration aborts, by the new authority once the pins move.
+            self.svc.dup_cache.forget(handle.call)
+            self.svc.abandon(handle)
+            return REPLY_DONE
         leases = self.leases
         if leases is not None:
             # Quiesce conflicting leases (recall + wait, bounded by TTL)
@@ -487,6 +517,10 @@ class NfsServer:
         # dropped by the incarnation guard above).
         if self.replicator is not None:
             self.replicator.halt()
+        # Migration sessions (dirty tracking, park fences) are RAM: the
+        # engine detects the loss at cutover and aborts the attempt.
+        if self.migrator is not None:
+            self.migrator.reset_volatile()
         # The lease table is RAM too; clearing it opens a one-TTL grace
         # period so pre-crash leases drain by expiry before any mutation.
         if self.leases is not None:

@@ -1,0 +1,42 @@
+"""Heterogeneous tiers, placement policy, and crash-safe live migration."""
+
+from repro.tiering.engine import (
+    MigrationEngine,
+    MigrationPlan,
+    ShardMigrator,
+)
+from repro.tiering.placement import (
+    POLICY_NAMES,
+    HashPlacement,
+    HotFirstPlacement,
+    LeastLoadPlacement,
+    MostFreePlacement,
+    PlacementPolicy,
+    make_policy,
+)
+from repro.tiering.experiment import (
+    TieringArm,
+    TieringConfig,
+    TieringRunResult,
+    run_tiering,
+)
+from repro.tiering.tiers import DEFAULT_FS_BYTES, TierConfig
+
+__all__ = [
+    "TierConfig",
+    "DEFAULT_FS_BYTES",
+    "PlacementPolicy",
+    "HashPlacement",
+    "MostFreePlacement",
+    "LeastLoadPlacement",
+    "HotFirstPlacement",
+    "make_policy",
+    "POLICY_NAMES",
+    "ShardMigrator",
+    "MigrationEngine",
+    "MigrationPlan",
+    "TieringConfig",
+    "TieringArm",
+    "TieringRunResult",
+    "run_tiering",
+]

@@ -1,4 +1,5 @@
-"""Workloads: sequential writer, dumb PC, random access, LADDIS mix."""
+"""Workloads: sequential writer, dumb PC, random access, LADDIS mix,
+Zipf multi-tenant hot spots."""
 
 from repro.workload.dumbpc import (
     DUMB_PC_THINK_TIME,
@@ -14,6 +15,7 @@ from repro.workload.laddis import (
 from repro.workload.random_access import write_random
 from repro.workload.sequential import patterned_chunk, write_file
 from repro.workload.timesharing import run_timesharing
+from repro.workload.zipf import tenant_file_name, zipf_tenant, zipf_weights
 
 __all__ = [
     "write_file",
@@ -27,4 +29,7 @@ __all__ = [
     "LaddisResult",
     "SFS_MIX",
     "SFS_LATENCY_BOUND_MS",
+    "zipf_tenant",
+    "zipf_weights",
+    "tenant_file_name",
 ]

@@ -1,0 +1,86 @@
+"""Zipf-skewed multi-tenant hot-spot workload.
+
+Each tenant owns a private set of files and appends to them with a
+Zipf-distributed popularity: rank-``k`` of a tenant's files receives
+traffic proportional to ``1 / (k + 1) ** skew``.  At ``skew=0`` every
+file is equally likely; at ``skew≈1.2`` the rank-0 file soaks up most
+of the writes — the classic hot-spot shape that makes placement policy
+and live migration matter on a heterogeneous fleet.
+
+Two design points keep runs comparable across policies:
+
+* **Determinism** — each tenant draws from its own
+  ``random.Random(seed * 1000003 + tenant)``, so adding tenants or
+  reordering their processes never perturbs another tenant's choices.
+* **Rotation** — tenant ``t``'s rank-``k`` choice lands on file index
+  ``(k + t) % files``, so different tenants hammer *different* files
+  and the aggregate hot set spreads across shards instead of collapsing
+  onto one name.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List
+
+from repro.nfs.client import NfsClient
+from repro.sim import Environment
+from repro.workload.sequential import patterned_chunk
+
+__all__ = ["zipf_weights", "tenant_file_name", "zipf_tenant"]
+
+
+def zipf_weights(files: int, skew: float) -> List[float]:
+    """Normalized Zipf popularity weights for ``files`` ranks."""
+    if files <= 0:
+        raise ValueError(f"files must be positive, got {files}")
+    if skew < 0:
+        raise ValueError(f"skew must be non-negative, got {skew}")
+    raw = [1.0 / (k + 1) ** skew for k in range(files)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def tenant_file_name(tenant: int, index: int) -> str:
+    """The canonical per-tenant file name (``t<tenant>-f<index>``)."""
+    return f"t{tenant}-f{index}"
+
+
+def zipf_tenant(
+    env: Environment,
+    client: NfsClient,
+    tenant: int,
+    files: int = 4,
+    ops: int = 32,
+    chunk_bytes: int = 4096,
+    skew: float = 1.1,
+    think_time: float = 0.002,
+    seed: int = 0,
+) -> Generator:
+    """One tenant's hot-spot writer: create ``files`` files, then issue
+    ``ops`` Zipf-distributed appends of ``chunk_bytes`` each.
+
+    Files are created up front (one create per file, so a placement
+    policy is consulted once per file), then appends go through the
+    client cache via ``write_stream``.  Returns the number of bytes the
+    tenant appended.
+    """
+    rng = random.Random(seed * 1000003 + tenant)
+    weights = zipf_weights(files, skew)
+    handles = []
+    for index in range(files):
+        open_file = yield from client.create(tenant_file_name(tenant, index))
+        handles.append(open_file)
+    appended = 0
+    ranks = list(range(files))
+    for op in range(ops):
+        if think_time > 0:
+            yield env.timeout(think_time)
+        rank = rng.choices(ranks, weights=weights)[0]
+        index = (rank + tenant) % files
+        data = patterned_chunk(tenant * 131 + op, chunk_bytes)
+        yield from client.write_stream(handles[index], data)
+        appended += chunk_bytes
+    for open_file in handles:
+        yield from client.close(open_file)
+    return appended

@@ -105,3 +105,72 @@ class TestMinimalMovement:
         shard_map = ShardMap(SERVERS, vnodes=8, seed=0)
         with pytest.raises(ValueError):
             shard_map.add_server("server-0")
+
+
+class TestCapacityWeights:
+    """Capacity-weighted vnodes (repro.tiering, satellite of the mixed
+    hot/cold fleet): ring-point counts scale with weight, and a reweight
+    moves only keys into or out of the reweighted server's own arcs."""
+
+    def test_vnode_count_scales_with_weight(self):
+        shard_map = ShardMap(
+            SERVERS, vnodes=64, seed=0, weights={"server-0": 2.0, "server-1": 0.5}
+        )
+        assert shard_map.vnode_count("server-0") == 128
+        assert shard_map.vnode_count("server-1") == 32
+        assert shard_map.vnode_count("server-2") == 64
+
+    def test_heavier_server_takes_proportional_load(self):
+        shard_map = ShardMap(SERVERS, vnodes=128, seed=0, weights={"server-0": 3.0})
+        load = shard_map.load(KEYS)
+        # server-0 has weight 3 of a total 6: expect ~half the keys.
+        assert load["server-0"] == pytest.approx(len(KEYS) / 2, rel=0.4)
+        assert load["server-0"] > max(load[s] for s in SERVERS[1:])
+
+    def test_weights_are_deterministic(self):
+        weights = {"server-0": 2.0, "server-3": 0.5}
+        a = ShardMap(SERVERS, vnodes=64, seed=5, weights=weights)
+        b = ShardMap(SERVERS, vnodes=64, seed=5, weights=weights)
+        assert [a.server_for(k) for k in KEYS] == [b.server_for(k) for k in KEYS]
+
+    def test_grow_weight_only_moves_keys_to_that_server(self):
+        shard_map = ShardMap(SERVERS, vnodes=64, seed=0)
+        before = {k: shard_map.server_for(k) for k in KEYS}
+        shard_map.set_weight("server-2", 2.0)
+        for key in KEYS:
+            after = shard_map.server_for(key)
+            if after != before[key]:
+                assert after == "server-2"
+
+    def test_shrink_weight_only_moves_keys_from_that_server(self):
+        shard_map = ShardMap(SERVERS, vnodes=64, seed=0)
+        before = {k: shard_map.server_for(k) for k in KEYS}
+        shard_map.set_weight("server-2", 0.25)
+        for key in KEYS:
+            if before[key] != "server-2":
+                assert shard_map.server_for(key) == before[key]
+
+    def test_reweight_round_trip_restores_placement(self):
+        shard_map = ShardMap(SERVERS, vnodes=64, seed=0)
+        before = {k: shard_map.server_for(k) for k in KEYS}
+        shard_map.set_weight("server-1", 4.0)
+        shard_map.set_weight("server-1", 1.0)
+        assert {k: shard_map.server_for(k) for k in KEYS} == before
+
+    def test_weight_floor_keeps_at_least_one_point(self):
+        shard_map = ShardMap(SERVERS, vnodes=4, seed=0, weights={"server-0": 0.01})
+        assert shard_map.vnode_count("server-0") == 1
+        assert "server-0" in shard_map
+
+    def test_invalid_weight_rejected(self):
+        shard_map = ShardMap(SERVERS, vnodes=8, seed=0)
+        with pytest.raises(ValueError):
+            shard_map.set_weight("server-0", 0.0)
+        with pytest.raises(ValueError):
+            shard_map.add_server("server-9", weight=-1.0)
+
+    def test_describe_includes_weights_only_when_set(self):
+        plain = ShardMap(SERVERS, vnodes=8, seed=0)
+        assert "weights" not in plain.describe()
+        weighted = ShardMap(SERVERS, vnodes=8, seed=0, weights={"server-0": 2.0})
+        assert weighted.describe()["weights"]["server-0"] == 2.0
